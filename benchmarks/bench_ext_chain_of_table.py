@@ -1,0 +1,52 @@
+"""Extension bench: Chain-of-Table prompting (the paper's future work).
+
+Section 4.7 names "more advanced prompting algorithms [72, 82] for
+complex tables" as the authors' next research direction; [82] is
+Chain-of-Table.  This bench implements and measures that direction: the
+iterative focus-operation chain of
+:class:`repro.baselines.prompting.ChainOfTableLLM` on top of the plain
+(non-RAG) simulated LLMs, against their single-shot and RAG variants.
+
+Expected shape: CoT improves the plain LLM's MAP (better deep ranking
+through progressively focused candidate pools) while RAG remains the
+stronger retrieval fix — the two are complementary.
+"""
+
+from repro.baselines import ChainOfTableLLM, SimulatedLLM, llm_column_clustering
+from repro.eval import ResultsTable
+
+from .common import RESULTS_DIR, corpus, fmt
+
+DATASET = "cancerkg"
+PROFILES = ("llama-2", "gpt-3.5")
+
+
+def run_cot():
+    tables = list(corpus(DATASET))
+    out = ResultsTable(
+        "Extension: Chain-of-Table prompting on CC (CancerKG)",
+        columns=["plain", "+CoT", "+RAG"],
+    )
+    for profile in PROFILES:
+        plain = SimulatedLLM(profile, seed=0)
+        cot = ChainOfTableLLM(SimulatedLLM(profile, seed=0))
+        ragged = SimulatedLLM(profile, use_rag=True, seed=0)
+        out.add(profile, "plain",
+                fmt(llm_column_clustering(tables, plain, max_queries=20)))
+        out.add(profile, "+CoT",
+                fmt(llm_column_clustering(tables, cot, max_queries=20)))
+        out.add(profile, "+RAG",
+                fmt(llm_column_clustering(tables, ragged, max_queries=20)))
+    return out
+
+
+def test_ext_chain_of_table(benchmark):
+    table = benchmark.pedantic(run_cot, rounds=1, iterations=1)
+    table.show()
+    table.save(RESULTS_DIR / "ext_chain_of_table.md")
+
+    def map_of(row, col):
+        return float(table.get(row, col).split("/")[0])
+
+    for profile in PROFILES:
+        assert map_of(profile, "+CoT") >= map_of(profile, "plain") - 0.05

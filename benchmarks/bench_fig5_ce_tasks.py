@@ -1,0 +1,42 @@
+"""Figure 5: composite embeddings for TC (a) and CC (b).
+
+Regenerates the task-level CE compositions — tblcomp2 = row-model data
+mean ⊕ HMD mean ⊕ VMD mean ⊕ caption embedding; colcomp = HMD attribute
+embedding ⊕ column-model data mean — and benchmarks their construction.
+"""
+
+from repro.eval import ResultsTable
+from repro.tables import figure1_table
+
+from .common import RESULTS_DIR, biobert, tabbin
+
+
+def render(embedder):
+    H = embedder.hidden
+    out = ResultsTable("Figure 5: CE for (a) Table Clustering and (b) Column "
+                       "Clustering", columns=["composition", "width"])
+    out.add("(a) TC: tblcomp2", "composition",
+            "mean E_d (row model) ⊕ mean E_c (HMD model) ⊕ "
+            "mean E_r (VMD model) ⊕ E_caption (BioBERT)")
+    out.add("(a) TC: tblcomp2", "width", f"4H = {4 * H}")
+    out.add("(b) CC: colcomp", "composition",
+            "E_cj (HMD model) ⊕ mean E_d over column (column model)")
+    out.add("(b) CC: colcomp", "width", f"2H = {2 * H}")
+    return out
+
+
+def test_fig5_task_composites(benchmark):
+    embedder = tabbin("cancerkg")
+    embedder.caption_encoder = biobert("cancerkg", include_captions=True)
+    rendering = render(embedder)
+    rendering.show()
+    rendering.save(RESULTS_DIR / "fig5_ce_tasks.md")
+    table = figure1_table()
+
+    def build():
+        return (embedder.table_embedding(table, variant="tblcomp2"),
+                embedder.column_embedding(table, 1))
+
+    tbl, col = benchmark(build)
+    assert tbl.shape == (4 * embedder.hidden,)
+    assert col.shape == (2 * embedder.hidden,)

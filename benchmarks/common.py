@@ -1,0 +1,103 @@
+"""Shared benchmark harness: corpora, cached models, bench config.
+
+Every benchmark file reproduces one table or figure of the paper.  Model
+pre-training is expensive, so trained models are memoized here and shared
+across benchmark files within one pytest session (the ablation models
+trained for Table 12 are reused by Table 13, etc.).
+
+Scale notes: the paper trains H=768 encoders for 50k steps on 20k-44k
+tables per corpus; this harness trains H=36 encoders for ~80 steps on
+24-table corpora so the full suite completes in minutes on CPU.  The
+*relative* results (who wins, roughly by how much, where the ablations
+hurt) are the reproduction target, not absolute MAP values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+
+from repro.baselines import BioBERTLike, TutaEmbedder, Word2Vec, corpus_tuples
+from repro.core import TabBiNConfig, TabBiNEmbedder
+from repro.datasets import PROFILES, CorpusGenerator
+from repro.eval import results_dir
+
+#: Bench-scale encoder config (hidden divisible by 12; heads divide 36).
+BENCH_CONFIG = TabBiNConfig(
+    hidden=36, num_layers=1, num_heads=3, intermediate=144, dropout=0.1,
+    max_seq_len=96, max_cell_tokens=16, max_position=64, batch_size=6,
+)
+N_TABLES = 24
+STEPS = 80
+VOCAB = 700
+SEED = 0
+
+DATASETS = ("webtables", "covidkg", "cancerkg", "saus", "cius")
+
+#: Where the per-table markdown artifacts land (linked by EXPERIMENTS.md).
+RESULTS_DIR = results_dir()
+
+
+@lru_cache(maxsize=None)
+def corpus(name: str, n_tables: int = N_TABLES, seed: int = SEED,
+           nested_rich: bool = False):
+    """A seeded corpus; ``nested_rich`` raises the nesting rate so the
+    nested-tables evaluation slice has enough members at bench scale
+    (the paper's corpora have thousands of nested tables; a 24-table
+    corpus at the documented 10% rate would have two)."""
+    profile = PROFILES[name].scaled(n_tables)
+    if nested_rich:
+        profile = replace(profile, p_nested=0.6)
+    return tuple(CorpusGenerator(profile, seed=seed).generate())
+
+
+@lru_cache(maxsize=None)
+def tabbin(name: str, ablation: str | None = None, steps: int = STEPS,
+           nested_rich: bool = False) -> TabBiNEmbedder:
+    """Pre-trained TabBiN (optionally with one Section-4.6 ablation)."""
+    config = BENCH_CONFIG if ablation is None else BENCH_CONFIG.ablate(ablation)
+    embedder, _stats = TabBiNEmbedder.build(
+        list(corpus(name, nested_rich=nested_rich)), config=config,
+        steps=steps, vocab_size=VOCAB, seed=SEED,
+    )
+    return embedder
+
+
+@lru_cache(maxsize=None)
+def tuta(name: str, nested_rich: bool = False) -> TutaEmbedder:
+    return TutaEmbedder.build(
+        list(corpus(name, nested_rich=nested_rich)), steps=STEPS, hidden=36,
+        num_layers=1, num_heads=3, vocab_size=VOCAB, max_seq_len=96,
+        batch_size=6, seed=SEED,
+    )
+
+
+@lru_cache(maxsize=None)
+def biobert(name: str, include_captions: bool = False) -> BioBERTLike:
+    return BioBERTLike.from_tables(
+        list(corpus(name)), steps=STEPS, include_captions=include_captions,
+        hidden=36, vocab_size=VOCAB, seed=SEED,
+    )
+
+
+@lru_cache(maxsize=None)
+def word2vec(name: str, dim: int = 48) -> Word2Vec:
+    model = Word2Vec(dim=dim, window=3, seed=SEED)
+    return model.train(corpus_tuples(list(corpus(name))), epochs=3)
+
+
+# ----------------------------------------------------------------------
+# Column predicates used by the textual/numerical splits of Tables 4/10/12
+# ----------------------------------------------------------------------
+def is_numeric_column(table, j) -> bool:
+    cells = [c for c in table.column(j) if c.text]
+    return bool(cells) and sum(c.is_numeric for c in cells) / len(cells) >= 0.5
+
+
+def is_textual_column(table, j) -> bool:
+    return not is_numeric_column(table, j)
+
+
+def fmt(result) -> str:
+    """Render a TaskResult as the paper's 'MAP/MRR' cells."""
+    return f"{result.map_at_k:.2f}/{result.mrr_at_k:.2f}"

@@ -1,0 +1,56 @@
+"""Build an entity catalog and match entities across a corpus.
+
+Mirrors Section 4.3: harvest typed entities (drugs, treatments, places,
+organizations ...) from table columns into catalogs, cluster them with
+the TabBiN column model, and run the binary entity-matching head against
+labeled pairs (the Table 9 protocol).
+
+Run:  python examples/entity_catalog.py
+"""
+
+from collections import Counter
+
+from repro.core import TabBiNConfig, TabBiNEmbedder
+from repro.core.classifier import TabBiNMatcher
+from repro.datasets import entity_pairs_from_corpus, load_dataset
+from repro.eval import collect_entities, entity_clustering
+
+
+def main() -> None:
+    corpus = load_dataset("cancerkg", n_tables=24, seed=2)
+    print("Harvesting entity catalogs from typed columns ...")
+    entities = collect_entities(corpus, max_per_type=30)
+    counts = Counter(e.entity_type for e in entities)
+    for entity_type, count in counts.most_common():
+        sample = next(e.text for e in entities if e.entity_type == entity_type)
+        print(f"   {entity_type:12s} {count:3d} entries (e.g. {sample!r})")
+
+    print("\nPre-training TabBiN ...")
+    embedder, _ = TabBiNEmbedder.build(corpus, config=TabBiNConfig.small(),
+                                       steps=60, vocab_size=600, seed=0)
+
+    print("Clustering the catalog with the TabBiN-column model ...")
+    result = entity_clustering(entities, embedder.entity_embedding,
+                               max_queries=30)
+    print(f"   EC MAP@20 {result.map_at_k:.2f}, MRR@20 {result.mrr_at_k:.2f} "
+          f"over {result.n_queries} queries")
+
+    print("\nTraining the entity-matching head (linear+softmax ensemble) ...")
+    pairs = entity_pairs_from_corpus(corpus, n_pairs=80, seed=0)
+    cut = int(len(pairs) * 0.7)
+    train, test = pairs[:cut], pairs[cut:]
+    matcher = TabBiNMatcher(embedder, ensemble=3, seed=0)
+    matcher.fit(train, epochs=80)
+    print(f"   train F1 {matcher.evaluate_f1(train):.2f}, "
+          f"held-out F1 {matcher.evaluate_f1(test):.2f}")
+
+    example = test[0]
+    probability = matcher.predict_proba([example])[0, 1]
+    print(f"\nExample pair (gold={'match' if example.label else 'mismatch'}):")
+    print(f"   A: {example.left[:64]}")
+    print(f"   B: {example.right[:64]}")
+    print(f"   P(match) = {probability:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Label noisy raw grids with the bi-GRU/CNN metadata classifiers.
+
+Corpora "in the wild" arrive as raw grids with unlabeled or noisy
+metadata (Section 2.3).  This example trains the paper's two binary
+metadata classifiers on generated tables, compares them against the
+heuristic labeler, and then parses a raw grid end to end into a typed
+BiN table using the predicted header counts.
+
+Run:  python examples/metadata_labeling.py
+"""
+
+from repro.datasets import load_dataset
+from repro.metadata import (
+    MetadataClassifier,
+    label_grid_heuristic,
+    training_set_from_tables,
+)
+from repro.tables import parse_grid
+
+RAW_GRID = [
+    ["Treatment",    "Overall Survival", "Response Rate", "Hazard Ratio"],
+    ["ramucirumab",  "20.3 months",      "45 %",          "0.84"],
+    ["chemotherapy", "15.1 months",      "34 %",          "1.02"],
+    ["folfiri",      "18.0 months",      "41 %",          "0.91"],
+]
+
+
+def main() -> None:
+    print("Generating labeled training lines from a corpus ...")
+    corpus = load_dataset("cancerkg", n_tables=20, seed=5)
+    lines, labels = training_set_from_tables(corpus)
+    print(f"   {len(lines)} lines ({sum(labels)} metadata, "
+          f"{len(labels) - sum(labels)} data)")
+
+    for architecture in ("bigru", "cnn"):
+        clf = MetadataClassifier(architecture, hidden=12, seed=0)
+        clf.fit(lines, labels, epochs=12, lr=2e-2)
+        accuracy = clf.accuracy(lines, labels)
+        rows, cols = clf.label_grid(RAW_GRID)
+        print(f"   {architecture:5s}: train accuracy {accuracy:.2f}; "
+              f"raw grid -> {rows} header row(s), {cols} header col(s)")
+
+    rows, cols = label_grid_heuristic(RAW_GRID)
+    print(f"   rules: raw grid -> {rows} header row(s), {cols} header col(s)")
+
+    print("\nParsing the raw grid with the predicted header counts ...")
+    table = parse_grid(RAW_GRID, n_header_rows=rows, n_header_cols=0,
+                       caption="Treatment efficacy (parsed from raw grid)")
+    print(f"   {table}")
+    for j in range(table.n_cols):
+        cell = table.data[0][j]
+        kind = type(cell.value).__name__
+        unit = f" [{cell.unit_category}]" if cell.unit_category else ""
+        print(f"   column {table.column_label(j)!r}: {cell.text!r} "
+              f"-> {kind}{unit}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Table search over a mixed data lake with LSH blocking.
+
+The paper motivates its clusters with table search and data fusion: find
+tables similar to a query table across sources.  This example builds a
+mixed "data lake" from three generated corpora, indexes composite table
+embeddings with cosine LSH, and answers table-search queries without a
+full quadratic scan — the Section 4.1 blocking recipe.
+
+Run:  python examples/table_search.py
+"""
+
+import numpy as np
+
+from repro.core import TabBiNConfig, TabBiNEmbedder
+from repro.datasets import load_dataset
+from repro.retrieval import CosineLSH
+
+LAKE_SOURCES = ("webtables", "covidkg", "saus")
+
+
+def main() -> None:
+    print("Building a mixed data lake ...")
+    lake = []
+    for source in LAKE_SOURCES:
+        lake.extend(load_dataset(source, n_tables=12, seed=3))
+    print(f"   {len(lake)} tables from {len(LAKE_SOURCES)} sources")
+
+    print("Pre-training TabBiN on the lake ...")
+    embedder, _ = TabBiNEmbedder.build(lake, config=TabBiNConfig.small(),
+                                       steps=60, vocab_size=800, seed=0)
+
+    print("Indexing composite table embeddings with cosine LSH ...")
+    vectors = np.stack([embedder.table_embedding(t, variant="tblcomp1")
+                        for t in lake])
+    lsh = CosineLSH(dim=vectors.shape[1], n_planes=8, n_bands=6, seed=0)
+    lsh.add_all(vectors)
+
+    for query_id in (0, len(lake) // 2, len(lake) - 1):
+        query = lake[query_id]
+        print(f"\nQuery: [{query.topic}] {query.caption[:58]}")
+        candidates = lsh.candidates(vectors[query_id])
+        print(f"   LSH blocking: {len(candidates)}/{len(lake)} candidates")
+        for idx, sim in lsh.query(vectors[query_id], k=3, exclude=query_id):
+            hit = lake[idx]
+            marker = "*" if hit.topic == query.topic else " "
+            print(f"   {marker} {sim:.3f}  [{hit.topic}] {hit.caption[:52]}")
+
+    # Recall sanity: the top hit usually shares the query's topic.
+    hits = 0
+    for query_id in range(len(lake)):
+        top = lsh.query(vectors[query_id], k=1, exclude=query_id)
+        hits += bool(top) and lake[top[0][0]].topic == lake[query_id].topic
+    print(f"\nTop-1 same-topic rate across the lake: {hits / len(lake):.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim so `pip install -e .` works without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install code path in environments without network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""The BioBERT baseline (Section 4: fine-tuned on table tuples).
+
+BioBERT [45] is architecturally BERT pre-trained on biomedical text; the
+paper fine-tunes it on serialized table tuples for 50k steps and uses a
+second variant that also sees captions (Figure 5a / Table 11).  Offline
+we train the same architecture-minus-structure model
+(:class:`~repro.baselines.text_model.TextMLM`) directly on the corpus
+tuples — it plays the identical role: a strong *text* encoder with no
+tabular structure awareness.
+"""
+
+from __future__ import annotations
+
+from .adapters import corpus_tuples
+from .text_model import TextMLM
+
+
+class BioBERTLike(TextMLM):
+    """Text MLM fine-tuned on table tuples, used for columns/tables via
+    the text adapters and as TabBiN's caption encoder."""
+
+    @classmethod
+    def from_tables(cls, corpus, steps: int = 150, include_captions: bool = False,
+                    hidden: int = 48, vocab_size: int = 1500,
+                    seed: int = 0) -> "BioBERTLike":
+        """Fine-tune on the corpus's tuples.
+
+        ``include_captions=True`` builds the second BioBERT variant of
+        the paper ("fine-tuned a second BioBERT model including table
+        captions as the embedding vector component").
+        """
+        texts = corpus_tuples(corpus, include_captions=include_captions)
+        return cls.train_on_texts(texts, steps=steps, hidden=hidden,
+                                  vocab_size=vocab_size, seed=seed)

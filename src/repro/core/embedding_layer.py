@@ -1,0 +1,122 @@
+"""The six-component TabBiN embedding layer (Section 3.1, Figure 3).
+
+The final embedding of a token is the sum of six components (eq. 8):
+
+``E = E_tok + E_num + E_cpos + E_tpos + E_type + E_fmt``
+
+- ``E_tok``  token semantics: a standard vocabulary lookup (eq. 2).
+- ``E_num``  numeric properties: magnitude / precision / first digit /
+  last digit, each with its own ``(H/4)``-wide table, concatenated
+  (eq. 3).
+- ``E_cpos`` in-cell position, up to I = 64 tokens per cell (eq. 4).
+- ``E_tpos`` in-table position: six sub-embeddings for the vertical,
+  horizontal, and nested coordinate (row, col) pairs, each ``(H/6)``
+  wide, concatenated (eq. 5).
+- ``E_fmt``  cell features: affine map of the 8-bit unit/nesting vector
+  (eq. 6).
+- ``E_type`` inferred semantic type, T = 14 (eq. 7).
+
+The TabBiN_2/3/4 ablations of Section 4.6 are implemented here by
+zeroing the corresponding component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Dropout, Embedding, LayerNorm, Linear, Module
+from ..nn.tensor import Tensor, concatenate
+from .config import TabBiNConfig
+from .serialize import EncodedSequence
+
+
+class TabBiNEmbedding(Module):
+    """Embed a batch of encoded sequences into ``(B, n, H)`` vectors."""
+
+    def __init__(self, config: TabBiNConfig, rng: np.random.Generator | None = None):
+        super().__init__()
+        if config.vocab_size <= 0:
+            raise ValueError("config.vocab_size must be set before building the model")
+        rng = rng or np.random.default_rng(0)
+        H = config.hidden
+        self.config = config
+
+        self.tok = Embedding(config.vocab_size, H, rng=rng)
+        quarter = H // 4
+        self.num_mag = Embedding(config.numeric_bins, quarter, rng=rng)
+        self.num_pre = Embedding(config.numeric_bins, quarter, rng=rng)
+        self.num_fst = Embedding(config.numeric_bins, quarter, rng=rng)
+        self.num_lst = Embedding(config.numeric_bins, quarter, rng=rng)
+        self.cpos = Embedding(config.max_cell_tokens, H, rng=rng)
+        sixth = H // 6
+        G = config.max_position
+        self.tpos_vr = Embedding(G, sixth, rng=rng)
+        self.tpos_vc = Embedding(G, sixth, rng=rng)
+        self.tpos_hr = Embedding(G, sixth, rng=rng)
+        self.tpos_hc = Embedding(G, sixth, rng=rng)
+        self.tpos_nr = Embedding(G, sixth, rng=rng)
+        self.tpos_nc = Embedding(G, sixth, rng=rng)
+        self.fmt = Linear(config.num_cell_features, H, rng=rng)
+        self.type = Embedding(config.num_types, H, rng=rng)
+
+        self.norm = LayerNorm(H)
+        self.dropout = Dropout(config.dropout, rng=rng)
+
+    def forward(self, token_ids: np.ndarray, numeric: np.ndarray,
+                cell_pos: np.ndarray, coords: np.ndarray,
+                type_ids: np.ndarray, features: np.ndarray) -> Tensor:
+        """Sum the six components for a padded batch.
+
+        Shapes: ``token_ids/cell_pos/type_ids (B, n)``, ``numeric
+        (B, n, 4)``, ``coords (B, n, 6)``, ``features (B, n, 8)``.
+        """
+        cfg = self.config
+        e_tok = self.tok(token_ids)
+        e_num = concatenate([
+            self.num_mag(numeric[..., 0]),
+            self.num_pre(numeric[..., 1]),
+            self.num_fst(numeric[..., 2]),
+            self.num_lst(numeric[..., 3]),
+        ], axis=-1)
+        e_cpos = self.cpos(np.minimum(cell_pos, cfg.max_cell_tokens - 1))
+        total = e_tok + e_num + e_cpos
+
+        if cfg.use_coords:
+            e_tpos = concatenate([
+                self.tpos_vr(coords[..., 0]), self.tpos_vc(coords[..., 1]),
+                self.tpos_hr(coords[..., 2]), self.tpos_hc(coords[..., 3]),
+                self.tpos_nr(coords[..., 4]), self.tpos_nc(coords[..., 5]),
+            ], axis=-1)
+            total = total + e_tpos
+        if cfg.use_type:
+            total = total + self.type(type_ids)
+        if cfg.use_units_nesting:
+            total = total + self.fmt(Tensor(features))
+
+        return self.dropout(self.norm(total))
+
+    @staticmethod
+    def batch_arrays(sequences: list[EncodedSequence], pad_id: int):
+        """Pad sequences to a common length; returns feature arrays plus
+        a boolean validity mask of shape ``(B, n)``."""
+        if not sequences:
+            raise ValueError("empty batch")
+        n = max(len(s) for s in sequences)
+        B = len(sequences)
+        token_ids = np.full((B, n), pad_id, dtype=np.int64)
+        numeric = np.zeros((B, n, 4), dtype=np.int64)
+        cell_pos = np.zeros((B, n), dtype=np.int64)
+        coords = np.zeros((B, n, 6), dtype=np.int64)
+        type_ids = np.zeros((B, n), dtype=np.int64)
+        features = np.zeros((B, n, 8), dtype=float)
+        valid = np.zeros((B, n), dtype=bool)
+        for b, seq in enumerate(sequences):
+            k = len(seq)
+            token_ids[b, :k] = seq.token_ids
+            numeric[b, :k] = seq.numeric
+            cell_pos[b, :k] = seq.cell_pos
+            coords[b, :k] = seq.coords
+            type_ids[b, :k] = seq.type_ids
+            features[b, :k] = seq.features
+            valid[b, :k] = True
+        return token_ids, numeric, cell_pos, coords, type_ids, features, valid

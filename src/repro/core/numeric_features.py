@@ -1,0 +1,53 @@
+"""Discrete numeric features for the E_num embedding (Section 3.1).
+
+A number is encoded by four discrete features: magnitude, precision,
+first digit and last digit, each in [0, 10].  The paper's worked example
+fixes the convention: "number 20.3 ... is encoded as (x_mag, x_pre,
+x_fst, x_lst) -> (2, 2, 2, 3)", i.e.
+
+- magnitude  = count of integer digits           (20.3 -> 2)
+- precision  = count of fractional digits + 1    (20.3 -> 2; integers -> 1)
+- first      = leading digit                     (20.3 -> 2)
+- last       = trailing digit                    (20.3 -> 3)
+
+Non-numeric tokens use the all-zero feature vector.  A trailing digit of
+0 shares the 0 bucket of the last-digit sub-embedding with non-numbers;
+this matches the paper's [0, L] value ranges and is harmless because the
+other three sub-embeddings still separate numbers from text.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Feature vector used for non-numeric tokens.
+NULL_FEATURES = (0, 0, 0, 0)
+
+_MAX = 10
+
+
+def _clamp(x: int, lo: int = 0) -> int:
+    return max(lo, min(int(x), _MAX))
+
+
+def numeric_features(value: float) -> tuple[int, int, int, int]:
+    """The (magnitude, precision, first digit, last digit) of ``value``.
+
+    Digits come from the shortest decimal rendering (up to six decimal
+    places); the sign is ignored.
+    """
+    if not math.isfinite(value):
+        return NULL_FEATURES
+    text = f"{abs(value):.6f}".rstrip("0").rstrip(".")
+    if not text:
+        text = "0"
+    if "." in text:
+        int_part, frac_part = text.split(".")
+    else:
+        int_part, frac_part = text, ""
+    significant = (int_part + frac_part).lstrip("0") or "0"
+    magnitude = _clamp(len(int_part.lstrip("0")) or 1, lo=1)
+    precision = _clamp(len(frac_part) + 1, lo=1)
+    first = _clamp(int(significant[0]))
+    last = _clamp(int(significant[-1]))
+    return (magnitude, precision, first, last)

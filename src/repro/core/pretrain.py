@@ -1,0 +1,158 @@
+"""Self-supervised pre-training: Masked Language Model + Cell-level Cloze.
+
+Section 3.3: "We use the Masked Language modeling and Cell-level cloze as
+our training objectives".  MLM masks 15% of the (non-structural) tokens
+with the BERT 80/10/10 recipe; CLC masks *whole cells* — every token of a
+sampled cell is replaced by ``[MASK]`` and must be recovered, forcing the
+model to reconstruct cell content purely from its structural 2-D context
+(coordinates, neighboring rows/columns, metadata).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import Adam, IGNORE_INDEX, LinearWarmupSchedule, accuracy, clip_grad_norm, cross_entropy
+from ..text.vocab import Vocabulary
+from .config import TabBiNConfig
+from .embedding_layer import TabBiNEmbedding
+from .model import TabBiNModel
+from .serialize import EncodedSequence
+
+
+@dataclass
+class PretrainStats:
+    """Loss/accuracy trace of one pre-training run."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    steps: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def improved(self) -> bool:
+        """Whether the smoothed loss went down over the run."""
+        if len(self.losses) < 4:
+            return False
+        k = max(len(self.losses) // 4, 1)
+        head = float(np.mean(self.losses[:k]))
+        tail = float(np.mean(self.losses[-k:]))
+        return tail < head
+
+
+class TabBiNPretrainer:
+    """Drives MLM + CLC pre-training of one TabBiN segment model."""
+
+    def __init__(self, model: TabBiNModel, vocab: Vocabulary,
+                 config: TabBiNConfig | None = None,
+                 seed: int = 0):
+        self.model = model
+        self.vocab = vocab
+        self.config = config or model.config
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Masking
+    # ------------------------------------------------------------------
+    def mask_batch(self, sequences: list[EncodedSequence]
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply MLM + CLC masking to a padded batch.
+
+        Returns ``(masked_token_ids, labels)``, both ``(B, n)``; labels
+        are ``IGNORE_INDEX`` except at positions the model must recover.
+        """
+        arrays = TabBiNEmbedding.batch_arrays(sequences, self.vocab.pad_id)
+        token_ids = arrays[0].copy()
+        valid = arrays[6]
+        labels = np.full_like(token_ids, IGNORE_INDEX)
+        special = self.vocab.special_ids() - {self.vocab.val_id}
+
+        for b, seq in enumerate(sequences):
+            n = len(seq)
+            eligible = np.array(
+                [i for i in range(n) if int(seq.token_ids[i]) not in special],
+                dtype=np.int64,
+            )
+            if eligible.size == 0:
+                continue
+
+            # --- Cell-level Cloze: mask whole cells --------------------
+            n_cells = len(seq.cell_refs)
+            clc_positions: set[int] = set()
+            if n_cells > 1:
+                chosen = np.nonzero(
+                    self.rng.random(n_cells) < self.config.clc_probability
+                )[0]
+                for cell_idx in chosen:
+                    for pos in seq.tokens_of_cell(int(cell_idx)):
+                        clc_positions.add(int(pos))
+            for pos in clc_positions:
+                labels[b, pos] = token_ids[b, pos]
+                token_ids[b, pos] = self.vocab.mask_id
+
+            # --- MLM over the remaining eligible tokens ----------------
+            remaining = np.array(
+                [i for i in eligible if i not in clc_positions], dtype=np.int64
+            )
+            if remaining.size == 0:
+                continue
+            picked = remaining[
+                self.rng.random(remaining.size) < self.config.mlm_probability
+            ]
+            if picked.size == 0:
+                picked = remaining[self.rng.integers(remaining.size, size=1)]
+            for pos in picked:
+                labels[b, pos] = token_ids[b, pos]
+                roll = self.rng.random()
+                if roll < 0.8:
+                    token_ids[b, pos] = self.vocab.mask_id
+                elif roll < 0.9:
+                    token_ids[b, pos] = int(self.rng.integers(len(self.vocab)))
+                # else: keep the original token.
+        labels[~valid] = IGNORE_INDEX
+        return token_ids, labels
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def train(self, sequences: list[EncodedSequence], steps: int,
+              batch_size: int | None = None, lr: float | None = None,
+              warmup_fraction: float = 0.1,
+              max_grad_norm: float = 1.0) -> PretrainStats:
+        """Run ``steps`` optimizer updates over randomly sampled batches."""
+        if not sequences:
+            raise ValueError("no training sequences")
+        batch_size = batch_size or self.config.batch_size
+        lr = lr if lr is not None else self.config.learning_rate
+        optimizer = Adam(self.model.parameters(), lr=lr)
+        schedule = LinearWarmupSchedule(
+            optimizer, warmup_steps=max(1, int(steps * warmup_fraction)),
+            total_steps=steps,
+        )
+        stats = PretrainStats()
+        self.model.train()
+        for _ in range(steps):
+            idx = self.rng.integers(len(sequences), size=min(batch_size, len(sequences)))
+            batch = [sequences[i] for i in idx]
+            masked, labels = self.mask_batch(batch)
+            if (labels == IGNORE_INDEX).all():
+                continue
+            hidden, _valid = self.model(batch, token_ids_override=masked)
+            logits = self.model.mlm_logits(hidden)
+            flat_logits = logits.reshape(-1, self.config.vocab_size)
+            flat_labels = labels.reshape(-1)
+            loss = cross_entropy(flat_logits, flat_labels)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(self.model.parameters(), max_grad_norm)
+            optimizer.step()
+            schedule.step()
+            stats.losses.append(float(loss.data))
+            stats.accuracies.append(accuracy(flat_logits, flat_labels))
+            stats.steps += 1
+        self.model.eval()
+        return stats

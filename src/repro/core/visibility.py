@@ -1,0 +1,49 @@
+"""The visibility matrix (Section 3.2).
+
+``M`` is a binary ``n x n`` matrix used as an attention mask: ``M_ij = 1``
+iff token *j* is structurally related to token *i* — they share a row, or
+share a column, or one is a metadata ancestor of the other (overlapping
+tree spans).  ``[CLS]`` tokens carry a wildcard span so they are visible
+to (and see) everything, giving every token a sink and keeping the
+softmax well-defined.
+
+The same construction is applied separately to data, HMD, and VMD
+sequences, "hence treating these semantically different context types
+separately, unlike other SOTA solutions".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .serialize import EncodedSequence
+
+
+def build_visibility(sequence: EncodedSequence) -> np.ndarray:
+    """Visibility matrix for one encoded sequence.
+
+    Token *i* sees token *j* when their visibility groups match (same
+    reading-direction line: row for row-major data, column for
+    column-major, level for metadata) or their spans overlap (same cross
+    line, or metadata ancestor/descendant).
+    """
+    groups = sequence.group_ids
+    spans = sequence.spans
+    same_group = (groups[:, None] == groups[None, :]) & (groups[:, None] >= 0)
+    overlap = (spans[:, None, 0] < spans[None, :, 1]) & (spans[None, :, 0] < spans[:, None, 1])
+    wildcard = groups == -1
+    visible = same_group | overlap | wildcard[:, None] | wildcard[None, :]
+    np.fill_diagonal(visible, True)
+    return visible.astype(np.uint8)
+
+
+def full_visibility(n: int) -> np.ndarray:
+    """All-ones mask: the standard transformer attention (TabBiN_1)."""
+    return np.ones((n, n), dtype=np.uint8)
+
+
+def visibility_for(sequence: EncodedSequence, use_visibility: bool) -> np.ndarray:
+    """Mask honouring the TabBiN_1 ablation switch."""
+    if use_visibility:
+        return build_visibility(sequence)
+    return full_visibility(len(sequence))

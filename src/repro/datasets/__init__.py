@@ -1,0 +1,25 @@
+"""Synthetic corpora standing in for the paper's five datasets."""
+
+from .corpora import CANCERKG, CIUS, COVIDKG, PROFILES, SAUS, WEBTABLES, load_dataset
+from .generator import (
+    CorpusGenerator,
+    CorpusStats,
+    DatasetProfile,
+    corpus_stats,
+)
+from .magellan import (
+    EntityPair,
+    entity_pairs_from_corpus,
+    generate_em_dataset,
+    serialize_record,
+)
+from .schemas import DOMAIN_TOPICS, Concept, TopicSchema
+
+__all__ = [
+    "Concept", "TopicSchema", "DOMAIN_TOPICS",
+    "DatasetProfile", "CorpusGenerator", "CorpusStats", "corpus_stats",
+    "PROFILES", "WEBTABLES", "COVIDKG", "CANCERKG", "SAUS", "CIUS",
+    "load_dataset",
+    "EntityPair", "generate_em_dataset", "entity_pairs_from_corpus",
+    "serialize_record",
+]

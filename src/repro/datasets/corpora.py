@@ -1,0 +1,107 @@
+"""The five simulated corpora (Section 2.2), scaled for CPU runs.
+
+Each profile mirrors its corpus's documented structure:
+
+- **Webtables** [46]: English web tables, avg 14.45 rows x 5.2 columns,
+  mostly relational, topics incl. magazines, cities, universities,
+  soccer clubs, regions, baseball players, music genres; strings and
+  numbers with/without units and ranges.
+- **CovidKG** (CORD-19 subset): COVID-19/vaccination tables with both
+  VMD and HMD; strings, numbers with units, ranges, gaussians, nested
+  tables; > 40% non-relational, ~10% nested.
+- **CancerKG**: colorectal-cancer publication tables with hierarchical
+  VMD and HMD; same value shapes; > 40% non-relational, ~10% nested.
+- **SAUS** (2010 Statistical Abstract of the US): avg 52.5 rows x 17.7
+  columns, finance / business / crime / agriculture / health topics —
+  simulated with the largest shapes here, numeric-heavy.
+- **CIUS** (Crime In the US): avg 68.4 rows x 12.7 columns, crime
+  statistics, deep numeric tables with yearly VMD.
+
+Table counts are scaled down (the paper uses 20,000-44,523 tables; the
+default here is sized for CPU pre-training) — pass ``n_tables`` to grow
+a corpus.  All generation is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from .generator import CorpusGenerator, DatasetProfile
+from .schemas import DOMAIN_TOPICS
+
+WEBTABLES = DatasetProfile(
+    name="webtables",
+    topics=DOMAIN_TOPICS["webtables"],
+    n_tables=56,
+    rows=(6, 14),
+    extra_cols=(3, 5),
+    p_vmd=0.05,
+    p_hier_hmd=0.10,
+    p_hier_vmd=0.0,
+    p_nested=0.02,
+    header_noise=0.35,
+)
+
+COVIDKG = DatasetProfile(
+    name="covidkg",
+    topics=DOMAIN_TOPICS["covidkg"],
+    n_tables=50,
+    rows=(4, 12),
+    extra_cols=(3, 5),
+    p_vmd=0.55,
+    p_hier_hmd=0.45,
+    p_hier_vmd=0.35,
+    p_nested=0.10,
+    header_noise=0.30,
+)
+
+CANCERKG = DatasetProfile(
+    name="cancerkg",
+    topics=DOMAIN_TOPICS["cancerkg"],
+    n_tables=50,
+    rows=(4, 12),
+    extra_cols=(3, 5),
+    p_vmd=0.55,
+    p_hier_hmd=0.50,
+    p_hier_vmd=0.40,
+    p_nested=0.10,
+    header_noise=0.30,
+)
+
+SAUS = DatasetProfile(
+    name="saus",
+    topics=DOMAIN_TOPICS["saus"],
+    n_tables=40,
+    rows=(10, 18),
+    extra_cols=(4, 5),
+    p_vmd=0.35,
+    p_hier_hmd=0.30,
+    p_hier_vmd=0.15,
+    p_nested=0.0,
+    header_noise=0.25,
+)
+
+CIUS = DatasetProfile(
+    name="cius",
+    topics=DOMAIN_TOPICS["cius"],
+    n_tables=36,
+    rows=(12, 20),
+    extra_cols=(3, 4),
+    p_vmd=0.45,
+    p_hier_hmd=0.25,
+    p_hier_vmd=0.15,
+    p_nested=0.0,
+    header_noise=0.25,
+)
+
+PROFILES: dict[str, DatasetProfile] = {
+    p.name: p for p in (WEBTABLES, COVIDKG, CANCERKG, SAUS, CIUS)
+}
+
+
+def load_dataset(name: str, n_tables: int | None = None, seed: int = 0):
+    """Generate one of the five corpora by name."""
+    profile = PROFILES.get(name)
+    if profile is None:
+        raise KeyError(f"unknown dataset {name!r}; options: {sorted(PROFILES)}")
+    if n_tables is not None:
+        profile = profile.scaled(n_tables)
+    return CorpusGenerator(profile, seed=seed).generate()

@@ -1,0 +1,31 @@
+"""Evaluation: metrics, the CC/TC/EC task runners, results tables."""
+
+from .harness import ResultsTable, results_dir
+from .metrics import (
+    average_precision_at_k,
+    f1_score,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    precision_recall_f1,
+    reciprocal_rank_at_k,
+)
+from .tasks import (
+    ColumnRef,
+    EntityRef,
+    TaskResult,
+    collect_columns,
+    collect_entities,
+    column_clustering,
+    entity_clustering,
+    table_clustering,
+)
+
+__all__ = [
+    "average_precision_at_k", "reciprocal_rank_at_k",
+    "mean_average_precision", "mean_reciprocal_rank",
+    "precision_recall_f1", "f1_score",
+    "TaskResult", "ColumnRef", "EntityRef",
+    "collect_columns", "collect_entities",
+    "column_clustering", "table_clustering", "entity_clustering",
+    "ResultsTable", "results_dir",
+]

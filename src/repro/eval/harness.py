@@ -1,0 +1,72 @@
+"""Experiment harness: results tables in the paper's format.
+
+Benchmarks accumulate (row, column) -> "MAP/MRR" cells into a
+:class:`ResultsTable`, print it, and optionally persist it as markdown —
+the artifact EXPERIMENTS.md links for each reproduced table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class ResultsTable:
+    """A small ordered grid of experiment results."""
+
+    title: str
+    columns: list[str]
+    rows: dict[str, dict[str, str]] = field(default_factory=dict)
+    row_order: list[str] = field(default_factory=list)
+
+    def add(self, row: str, column: str, value) -> None:
+        if column not in self.columns:
+            raise KeyError(f"unknown column {column!r}; declared: {self.columns}")
+        if row not in self.rows:
+            self.rows[row] = {}
+            self.row_order.append(row)
+        self.rows[row][column] = str(value)
+
+    def get(self, row: str, column: str) -> str:
+        return self.rows[row][column]
+
+    def to_markdown(self) -> str:
+        header = "| " + " | ".join([""] + self.columns) + " |"
+        rule = "|" + "|".join(["---"] * (len(self.columns) + 1)) + "|"
+        lines = [f"### {self.title}", "", header, rule]
+        for row in self.row_order:
+            cells = [self.rows[row].get(col, "-") for col in self.columns]
+            lines.append("| " + " | ".join([row] + cells) + " |")
+        return "\n".join(lines)
+
+    def to_text(self) -> str:
+        widths = [max(len(row) for row in self.row_order + [""])]
+        widths += [
+            max(len(col), *(len(self.rows[r].get(col, "-")) for r in self.row_order))
+            if self.row_order else len(col)
+            for col in self.columns
+        ]
+        def fmt(cells):
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+        lines = [self.title, fmt([""] + self.columns)]
+        for row in self.row_order:
+            lines.append(fmt([row] + [self.rows[row].get(c, "-") for c in self.columns]))
+        return "\n".join(lines)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_markdown() + "\n")
+        return path
+
+    def show(self) -> None:
+        print("\n" + self.to_text() + "\n")
+
+
+def results_dir() -> Path:
+    """Where benchmark harnesses drop their markdown tables."""
+    root = Path(__file__).resolve().parents[3]
+    out = root / "results"
+    out.mkdir(exist_ok=True)
+    return out

@@ -1,0 +1,80 @@
+"""Ranking and classification metrics.
+
+The paper reports MAP@20 [52] and MRR@20 [20] over ranked lists of
+clustered columns/tables/entities, and F1 for the DITTO entity-matching
+comparison (Section 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def average_precision_at_k(relevance: list[bool] | list[int], k: int = 20,
+                           n_relevant: int | None = None) -> float:
+    """AP@k of a ranked relevance list.
+
+    ``relevance[i]`` marks whether the item at rank ``i`` (0-based) is
+    relevant.  Normalized by ``min(k, n_relevant)`` — the best score a
+    perfect ranking could reach — with ``n_relevant`` defaulting to the
+    relevant count inside the window.
+    """
+    window = [bool(r) for r in relevance[:k]]
+    hits = 0
+    precision_sum = 0.0
+    for rank, rel in enumerate(window, start=1):
+        if rel:
+            hits += 1
+            precision_sum += hits / rank
+    denom = min(k, n_relevant) if n_relevant is not None else hits
+    if not denom:
+        return 0.0
+    return precision_sum / denom
+
+
+def reciprocal_rank_at_k(relevance: list[bool] | list[int], k: int = 20) -> float:
+    """RR@k: inverse rank of the first relevant item (0 if none)."""
+    for rank, rel in enumerate(relevance[:k], start=1):
+        if rel:
+            return 1.0 / rank
+    return 0.0
+
+
+def mean_average_precision(relevance_lists: list[list[bool]], k: int = 20,
+                           n_relevant: list[int] | None = None) -> float:
+    """MAP@k across queries."""
+    if not relevance_lists:
+        return 0.0
+    totals = []
+    for i, rel in enumerate(relevance_lists):
+        nr = n_relevant[i] if n_relevant is not None else None
+        totals.append(average_precision_at_k(rel, k, nr))
+    return float(np.mean(totals))
+
+
+def mean_reciprocal_rank(relevance_lists: list[list[bool]], k: int = 20) -> float:
+    """MRR@k across queries."""
+    if not relevance_lists:
+        return 0.0
+    return float(np.mean([reciprocal_rank_at_k(rel, k) for rel in relevance_lists]))
+
+
+def precision_recall_f1(predictions: list[int], labels: list[int]
+                        ) -> tuple[float, float, float]:
+    """Binary P/R/F1 with the positive class = 1."""
+    predictions = np.asarray(predictions, dtype=int)
+    labels = np.asarray(labels, dtype=int)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must align")
+    tp = int(((predictions == 1) & (labels == 1)).sum())
+    fp = int(((predictions == 1) & (labels == 0)).sum())
+    fn = int(((predictions == 0) & (labels == 1)).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return precision, recall, f1
+
+
+def f1_score(predictions: list[int], labels: list[int]) -> float:
+    return precision_recall_f1(predictions, labels)[2]

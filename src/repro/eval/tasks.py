@@ -1,0 +1,205 @@
+"""The three downstream tasks: CC, TC, EC (Sections 4.1-4.3).
+
+Each task runner takes an *embedding function* (so TabBiN and every
+baseline are evaluated through exactly the same protocol), ranks by
+cosine similarity, forms top-20 clusters, and scores them with MAP@20 /
+MRR@20 against the generator's gold labels (which replace the paper's
+human annotators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..retrieval.clustering import centroid_ranking, rank_neighbors, topic_centroid
+from ..retrieval.lsh import CosineLSH
+from ..tables.table import Table
+from .metrics import mean_average_precision, mean_reciprocal_rank
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """MAP/MRR of one (model, dataset, task) cell of a results table."""
+
+    map_at_k: float
+    mrr_at_k: float
+    n_queries: int
+    k: int = 20
+
+    def __str__(self) -> str:
+        return f"{self.map_at_k:.2f}/{self.mrr_at_k:.2f}"
+
+
+# ----------------------------------------------------------------------
+# Column Clustering
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (table, column) pair with its gold concept."""
+
+    table_index: int
+    column: int
+    concept: str
+
+
+def collect_columns(corpus: list[Table],
+                    predicate: Callable[[Table, int], bool] | None = None
+                    ) -> list[ColumnRef]:
+    """Enumerate evaluable columns, optionally filtered (e.g. numeric
+    only, string only, large tables only)."""
+    out: list[ColumnRef] = []
+    for t_idx, table in enumerate(corpus):
+        for j in range(table.n_cols):
+            if predicate is None or predicate(table, j):
+                out.append(ColumnRef(t_idx, j, table.column_concept(j)))
+    return out
+
+
+def column_clustering(corpus: list[Table],
+                      embed_column: Callable[[Table, int], np.ndarray],
+                      columns: list[ColumnRef] | None = None,
+                      k: int = 20, max_queries: int | None = None,
+                      use_lsh: bool = False, seed: int = 0) -> TaskResult:
+    """CC: rank columns against each query column; relevant = same
+    concept (the schema-matching correspondence the paper targets)."""
+    columns = columns if columns is not None else collect_columns(corpus)
+    if len(columns) < 2:
+        raise ValueError("need at least two columns to cluster")
+    vectors = np.stack([
+        embed_column(corpus[ref.table_index], ref.column) for ref in columns
+    ])
+    lsh = None
+    if use_lsh:
+        lsh = CosineLSH(dim=vectors.shape[1], n_planes=6, n_bands=6, seed=seed)
+        lsh.add_all(vectors)
+    concepts = [ref.concept for ref in columns]
+    counts: dict[str, int] = {}
+    for concept in concepts:
+        counts[concept] = counts.get(concept, 0) + 1
+    query_ids = _sample(len(columns), max_queries, seed)
+    relevance, totals = [], []
+    for q in query_ids:
+        total = counts[concepts[q]] - 1
+        if total < 1:
+            continue  # nothing to retrieve for a singleton concept
+        neighbors = rank_neighbors(q, vectors, k=k, lsh=lsh)
+        relevance.append([concepts[i] == concepts[q] for i in neighbors])
+        totals.append(total)
+    if not relevance:
+        raise ValueError("no query column has a same-concept counterpart")
+    return TaskResult(
+        map_at_k=mean_average_precision(relevance, k, totals),
+        mrr_at_k=mean_reciprocal_rank(relevance, k),
+        n_queries=len(relevance), k=k,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table Clustering
+# ----------------------------------------------------------------------
+def table_clustering(corpus: list[Table],
+                     embed_table: Callable[[Table], np.ndarray],
+                     tables: list[int] | None = None,
+                     k: int = 20, seed: int = 0,
+                     centroid_seeds: int = 3) -> TaskResult:
+    """TC: per topic, rank all tables against the topic centroid
+    (Section 4.2); relevant = same gold topic."""
+    ids = tables if tables is not None else list(range(len(corpus)))
+    labeled = [i for i in ids if corpus[i].topic is not None]
+    if len(labeled) < 2:
+        raise ValueError("need at least two topic-labeled tables")
+    vectors = np.stack([embed_table(corpus[i]) for i in labeled])
+    topics = [corpus[i].topic for i in labeled]
+    rng = np.random.default_rng(seed)
+    relevance, totals = [], []
+    for topic in sorted(set(topics)):
+        members = [i for i, t in enumerate(topics) if t == topic]
+        if len(members) < 2:
+            continue
+        seeds = list(rng.choice(members, size=min(centroid_seeds, len(members)),
+                                replace=False))
+        centroid = topic_centroid(vectors, seeds)
+        ranked = centroid_ranking(centroid, vectors, k=k)
+        relevance.append([topics[i] == topic for i in ranked])
+        totals.append(len(members))
+    if not relevance:
+        raise ValueError("no topic had at least two tables")
+    return TaskResult(
+        map_at_k=mean_average_precision(relevance, k, totals),
+        mrr_at_k=mean_reciprocal_rank(relevance, k),
+        n_queries=len(relevance), k=k,
+    )
+
+
+# ----------------------------------------------------------------------
+# Entity Clustering
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EntityRef:
+    """A catalog entry: surface form plus gold entity type."""
+
+    text: str
+    entity_type: str
+
+
+def collect_entities(corpus: list[Table],
+                     max_per_type: int | None = None,
+                     seed: int = 0) -> list[EntityRef]:
+    """Harvest the entity catalog from gold-typed cells (Section 4.3:
+    columns with labels specific to each dataset)."""
+    by_type: dict[str, list[str]] = {}
+    for table in corpus:
+        for cell in table.all_cells():
+            if cell.entity_type and cell.text:
+                bucket = by_type.setdefault(cell.entity_type, [])
+                if cell.text not in bucket:
+                    bucket.append(cell.text)
+    rng = np.random.default_rng(seed)
+    out: list[EntityRef] = []
+    for entity_type in sorted(by_type):
+        values = by_type[entity_type]
+        if max_per_type is not None and len(values) > max_per_type:
+            values = list(rng.choice(values, size=max_per_type, replace=False))
+        out.extend(EntityRef(v, entity_type) for v in values)
+    return out
+
+
+def entity_clustering(entities: list[EntityRef],
+                      embed_entity: Callable[[str], np.ndarray],
+                      k: int = 20, max_queries: int | None = None,
+                      seed: int = 0) -> TaskResult:
+    """EC: rank catalog entries against each query entity; relevant =
+    same entity type; AP@20 averaged per type then across types."""
+    if len(entities) < 2:
+        raise ValueError("need at least two entities")
+    vectors = np.stack([embed_entity(e.text) for e in entities])
+    types = [e.entity_type for e in entities]
+    query_ids = _sample(len(entities), max_queries, seed)
+    per_type: dict[str, list[tuple[list[bool], int]]] = {}
+    for q in query_ids:
+        neighbors = rank_neighbors(q, vectors, k=k)
+        rel = [types[i] == types[q] for i in neighbors]
+        total = sum(1 for t in types if t == types[q]) - 1
+        if total > 0:
+            per_type.setdefault(types[q], []).append((rel, total))
+    maps, mrrs = [], []
+    for entity_type in sorted(per_type):
+        rels = [r for r, _t in per_type[entity_type]]
+        tots = [t for _r, t in per_type[entity_type]]
+        maps.append(mean_average_precision(rels, k, tots))
+        mrrs.append(mean_reciprocal_rank(rels, k))
+    return TaskResult(
+        map_at_k=float(np.mean(maps)) if maps else 0.0,
+        mrr_at_k=float(np.mean(mrrs)) if mrrs else 0.0,
+        n_queries=len(query_ids), k=k,
+    )
+
+
+def _sample(n: int, max_queries: int | None, seed: int) -> list[int]:
+    if max_queries is None or n <= max_queries:
+        return list(range(n))
+    rng = np.random.default_rng(seed)
+    return sorted(rng.choice(n, size=max_queries, replace=False).tolist())

@@ -1,0 +1,18 @@
+"""Metadata labeling: bi-GRU/CNN classifiers and heuristic fallback."""
+
+from .classifier import BiGRUClassifier, CNNClassifier, MetadataClassifier
+from .features import (
+    NUM_CELL_FEATURES,
+    cell_features,
+    labeled_lines_from_table,
+    line_features,
+    training_set_from_tables,
+)
+from .heuristics import is_metadata_line, label_grid_heuristic
+
+__all__ = [
+    "MetadataClassifier", "BiGRUClassifier", "CNNClassifier",
+    "cell_features", "line_features", "labeled_lines_from_table",
+    "training_set_from_tables", "NUM_CELL_FEATURES",
+    "is_metadata_line", "label_grid_heuristic",
+]

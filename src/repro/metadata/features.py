@@ -1,0 +1,83 @@
+"""Featurization of table lines (rows/columns) for metadata labeling.
+
+The metadata classifiers (Section 2.3, citing [40]) decide whether a
+line of a raw grid is metadata or data.  Each cell becomes a small
+feature vector capturing the signals that separate header labels from
+values: numeric shape, units, length, capitalization, vocabulary hits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tables.table import Table
+from ..tables.values import NumberValue, RangeValue, GaussianValue, parse_value
+from ..text.tokenizer import pretokenize
+from ..text.units import detect_trailing_unit
+
+#: Per-cell feature dimensionality.
+NUM_CELL_FEATURES = 8
+
+
+def cell_features(text: str, position: float) -> np.ndarray:
+    """Feature vector for one cell of a line.
+
+    ``position`` is the cell's relative index within the line in [0, 1].
+    """
+    stripped = text.strip()
+    value = parse_value(stripped)
+    tokens = pretokenize(stripped)
+    is_numeric = isinstance(value, (NumberValue, RangeValue, GaussianValue))
+    digits = sum(c.isdigit() for c in stripped)
+    _unit, unit_cat = detect_trailing_unit(stripped)
+    return np.array([
+        1.0 if is_numeric else 0.0,
+        digits / max(len(stripped), 1),
+        min(len(tokens), 8) / 8.0,
+        min(len(stripped), 40) / 40.0,
+        1.0 if unit_cat is not None else 0.0,
+        1.0 if stripped and stripped[0].isupper() else 0.0,
+        1.0 if not stripped else 0.0,
+        position,
+    ])
+
+
+def line_features(cells: list[str]) -> np.ndarray:
+    """Feature sequence for a line, shape ``(len(cells), F)``."""
+    n = max(len(cells), 1)
+    return np.stack([
+        cell_features(text, i / n) for i, text in enumerate(cells)
+    ]) if cells else np.zeros((0, NUM_CELL_FEATURES))
+
+
+def labeled_lines_from_table(table: Table) -> list[tuple[np.ndarray, int, str]]:
+    """(features, label, orientation) training items from one table.
+
+    Header-row levels are positive horizontal lines; data rows negative.
+    VMD levels are positive vertical lines; data columns negative.
+    """
+    items: list[tuple[np.ndarray, int, str]] = []
+    for level in table.hmd_tree.levels:
+        texts = [slot if slot is not None else "" for slot in level]
+        items.append((line_features(texts), 1, "row"))
+    for i in range(table.n_rows):
+        items.append((line_features([c.text for c in table.row(i)]), 0, "row"))
+    for level in table.vmd_tree.levels:
+        texts = [slot if slot is not None else "" for slot in level]
+        items.append((line_features(texts), 1, "col"))
+    for j in range(table.n_cols):
+        items.append((line_features([c.text for c in table.column(j)]), 0, "col"))
+    return items
+
+
+def training_set_from_tables(tables: list[Table]
+                             ) -> tuple[list[np.ndarray], list[int]]:
+    """Flatten a corpus into (line feature sequences, labels)."""
+    lines: list[np.ndarray] = []
+    labels: list[int] = []
+    for table in tables:
+        for features, label, _orientation in labeled_lines_from_table(table):
+            if len(features):
+                lines.append(features)
+                labels.append(label)
+    return lines, labels

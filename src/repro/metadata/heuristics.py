@@ -1,0 +1,51 @@
+"""Rule-based metadata labeling fallback.
+
+The paper notes one "can also use other existing techniques for labeling
+metadata [50, 63]"; this heuristic labeler plays that role and doubles
+as a sanity baseline for the learned classifiers.
+"""
+
+from __future__ import annotations
+
+from ..tables.values import GaussianValue, NumberValue, RangeValue, parse_value
+
+
+def is_metadata_line(cells: list[str], numeric_threshold: float = 0.3,
+                     distinct_threshold: float = 0.6) -> bool:
+    """Heuristic: metadata lines are mostly non-numeric and distinct.
+
+    Header labels are names, not measurements: few numeric cells, few
+    repeated values, and non-empty text.
+    """
+    filled = [c.strip() for c in cells if c and c.strip()]
+    if not filled:
+        return False
+    numeric = sum(
+        isinstance(parse_value(c), (NumberValue, RangeValue, GaussianValue))
+        for c in filled
+    )
+    if numeric / len(filled) > numeric_threshold:
+        return False
+    distinct = len({c.lower() for c in filled}) / len(filled)
+    return distinct >= distinct_threshold
+
+
+def label_grid_heuristic(grid: list[list[str]], max_header_rows: int = 3,
+                         max_header_cols: int = 2) -> tuple[int, int]:
+    """(n_header_rows, n_header_cols) by scanning with the rule above."""
+    n_header_rows = 0
+    for row in grid[:max_header_rows]:
+        if is_metadata_line(row):
+            n_header_rows += 1
+        else:
+            break
+    n_header_rows = max(n_header_rows, 1)
+    n_header_cols = 0
+    width = len(grid[0]) if grid else 0
+    for j in range(min(max_header_cols, width)):
+        column = [row[j] for row in grid[n_header_rows:]]
+        if column and is_metadata_line(column):
+            n_header_cols += 1
+        else:
+            break
+    return n_header_rows, n_header_cols

@@ -1,0 +1,73 @@
+"""1-D convolution layers (im2col formulation) for the CNN metadata
+classifier described in Section 2.3 of the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Module, Parameter
+from .tensor import Tensor
+
+
+class Conv1d(Module):
+    """1-D convolution over ``(batch, seq, channels)`` with 'same' padding.
+
+    Implemented as an im2col gather followed by a single matmul so the
+    autograd engine differentiates it without a custom backward rule.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be odd for 'same' padding")
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size
+        bound = np.sqrt(6.0 / (fan_in + out_channels))
+        self.weight = Parameter(
+            rng.uniform(-bound, bound, (kernel_size * in_channels, out_channels))
+        )
+        self.bias = Parameter(np.zeros(out_channels))
+        self.kernel_size = kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, seq, channels), got {x.shape}")
+        batch, seq, channels = x.shape
+        if channels != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {channels}")
+        pad = self.kernel_size // 2
+        # Gather indices for each window position, clamping into a zero
+        # border: build an index over a zero-padded copy of the input.
+        padded = _zero_pad_seq(x, pad)
+        positions = np.arange(seq)[:, None] + np.arange(self.kernel_size)[None, :]
+        windows = padded[:, positions.reshape(-1), :]
+        windows = windows.reshape(batch, seq, self.kernel_size * channels)
+        return windows @ self.weight + self.bias
+
+
+def _zero_pad_seq(x: Tensor, pad: int) -> Tensor:
+    """Pad the sequence axis of ``(batch, seq, channels)`` with zeros."""
+    from .tensor import concatenate, zeros
+
+    if pad == 0:
+        return x
+    batch, _, channels = x.shape
+    zero_block = zeros((batch, pad, channels))
+    return concatenate([zero_block, x, zero_block], axis=1)
+
+
+class GlobalMaxPool1d(Module):
+    """Max over the sequence axis of ``(batch, seq, channels)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.max(axis=1)
+
+
+class GlobalAvgPool1d(Module):
+    """Mean over the sequence axis of ``(batch, seq, channels)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=1)

@@ -1,0 +1,130 @@
+"""Optimizers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base class holding a flat list of parameters."""
+
+    def __init__(self, params: list[Tensor], lr: float):
+        self.params = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer received no trainable parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum > 0.0:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba); the paper trains with lr 2e-5."""
+
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay > 0.0:
+                # Decoupled weight decay (AdamW style).
+                p.data -= self.lr * self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay enabled by default."""
+
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.01):
+        super().__init__(params, lr, betas, eps, weight_decay)
+
+
+class LinearWarmupSchedule:
+    """Linear warmup to ``base_lr`` then linear decay to zero.
+
+    Mirrors the BERT fine-tuning schedule used for the 50k-step
+    pre-training runs in the paper.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int):
+        if total_steps <= 0 or warmup_steps < 0 or warmup_steps > total_steps:
+            raise ValueError("invalid schedule bounds")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self._step_count = 0
+
+    def step(self) -> float:
+        self._step_count += 1
+        self.optimizer.lr = self.lr_at(self._step_count)
+        return self.optimizer.lr
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        remaining = max(self.total_steps - step, 0)
+        denom = max(self.total_steps - self.warmup_steps, 1)
+        return self.base_lr * remaining / denom
+
+
+def clip_grad_norm(params: list[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so the global L2 norm is at most
+    ``max_norm``; returns the pre-clip norm."""
+    total = 0.0
+    grads = [p.grad for p in params if p.grad is not None]
+    for g in grads:
+        total += float((g * g).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for g in grads:
+            g *= scale
+    return norm

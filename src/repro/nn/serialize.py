@@ -1,0 +1,45 @@
+"""Checkpoint save/load for :class:`~repro.nn.layers.Module` trees.
+
+Checkpoints are plain ``.npz`` archives mapping parameter paths to
+arrays, plus an optional JSON metadata blob under the reserved key
+``__meta__`` — portable and dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .layers import Module
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(module: Module, path: str | Path,
+                    meta: dict | None = None) -> Path:
+    """Write the module's state dict (and optional metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name collides with reserved key {_META_KEY}")
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(module: Module, path: str | Path) -> dict:
+    """Load parameters into ``module``; returns the stored metadata."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        meta_raw = archive[_META_KEY].tobytes().decode("utf-8") if _META_KEY in archive else "{}"
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    module.load_state_dict(state)
+    return json.loads(meta_raw)

@@ -1,0 +1,70 @@
+"""Transformer encoder blocks (post-layer-norm, BERT style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadSelfAttention
+from .layers import Dropout, LayerNorm, Linear, Module, ModuleList
+from .tensor import Tensor
+
+
+class FeedForward(Module):
+    """Position-wise two-layer MLP with GELU activation."""
+
+    def __init__(self, hidden: int, intermediate: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.fc1 = Linear(hidden, intermediate, rng=rng)
+        self.fc2 = Linear(intermediate, hidden, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.fc1(x).gelu())
+
+
+class TransformerEncoderLayer(Module):
+    """One encoder block: masked self-attention + FFN, each with residual
+    connection and post-layer-norm as in BERT_BASE."""
+
+    def __init__(self, hidden: int, num_heads: int, intermediate: int,
+                 dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.attention = MultiHeadSelfAttention(hidden, num_heads, dropout, rng=rng)
+        self.attn_norm = LayerNorm(hidden)
+        self.ffn = FeedForward(hidden, intermediate, rng=rng)
+        self.ffn_norm = LayerNorm(hidden)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        attended = self.dropout(self.attention(x, mask))
+        x = self.attn_norm(x + attended)
+        fed = self.dropout(self.ffn(x))
+        return self.ffn_norm(x + fed)
+
+
+class TransformerEncoder(Module):
+    """Stack of :class:`TransformerEncoderLayer`.
+
+    This is the shared encoder trunk used by TabBiN, the TUTA-like
+    baseline, the BioBERT-like baseline, and the DITTO-like matcher; they
+    differ in their embedding layers and attention masks.
+    """
+
+    def __init__(self, num_layers: int, hidden: int, num_heads: int,
+                 intermediate: int, dropout: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.layers = ModuleList(
+            TransformerEncoderLayer(hidden, num_heads, intermediate, dropout, rng=rng)
+            for _ in range(num_layers)
+        )
+        self.hidden = hidden
+        self.num_layers = num_layers
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, mask)
+        return x

@@ -1,0 +1,11 @@
+"""Retrieval substrate: cosine ranking, LSH blocking, cluster formation."""
+
+from .clustering import centroid_ranking, rank_neighbors, top_k_cluster, topic_centroid
+from .lsh import CosineLSH
+from .similarity import cosine_matrix, cosine_similarity, normalize_rows, top_k
+
+__all__ = [
+    "cosine_similarity", "cosine_matrix", "normalize_rows", "top_k",
+    "CosineLSH",
+    "rank_neighbors", "top_k_cluster", "centroid_ranking", "topic_centroid",
+]

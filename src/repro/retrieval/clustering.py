@@ -1,0 +1,47 @@
+"""Cluster formation on top of cosine ranking (Sections 4.1-4.3).
+
+The paper forms clusters by ranking: "for each column, we create a list
+of similar columns, sorted by the cosine similarity in descending order,
+the top 20 entries form a cluster"; for tables, ranking is against a
+topic centroid vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lsh import CosineLSH
+from .similarity import cosine_matrix, normalize_rows, top_k
+
+
+def rank_neighbors(index: int, vectors: np.ndarray, k: int = 20,
+                   lsh: CosineLSH | None = None) -> list[int]:
+    """Ids of the top-k most similar items to ``vectors[index]``.
+
+    With an ``lsh`` index the ranking is restricted to its blocking
+    candidates, as in the paper's LSH-based CC pipeline.
+    """
+    if lsh is not None:
+        return [i for i, _s in lsh.query(vectors[index], k, exclude=index)]
+    return [i for i, _s in top_k(vectors[index], vectors, k, exclude=index)]
+
+
+def top_k_cluster(index: int, vectors: np.ndarray, k: int = 20,
+                  lsh: CosineLSH | None = None) -> list[int]:
+    """The paper's cluster for one query item: its top-k neighbour list."""
+    return rank_neighbors(index, vectors, k=k, lsh=lsh)
+
+
+def centroid_ranking(centroid: np.ndarray, vectors: np.ndarray,
+                     k: int = 20) -> list[int]:
+    """Rank all items against a topic centroid; top-k form the cluster."""
+    sims = cosine_matrix(centroid[None, :], vectors)[0]
+    order = np.argsort(-sims, kind="stable")
+    return [int(i) for i in order[:k]]
+
+
+def topic_centroid(vectors: np.ndarray, member_ids: list[int]) -> np.ndarray:
+    """Centroid embedding of a topic: the mean of its members' vectors."""
+    if not member_ids:
+        raise ValueError("cannot build a centroid from no members")
+    return normalize_rows(vectors[member_ids]).mean(axis=0)

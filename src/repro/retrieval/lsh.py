@@ -1,0 +1,86 @@
+"""Random-hyperplane LSH for cosine-similarity blocking.
+
+Section 4.1: "We use LSH-based blocking [28] to avoid quadratic
+complexity for the entire dataset" when clustering the hundreds of
+thousands of columns.  Signs of random projections bucket vectors so
+candidate pairs are only drawn from matching buckets (multiple bands
+raise recall).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CosineLSH:
+    """Sign-random-projection LSH index.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    n_planes:
+        Hyperplanes per band — bucket key length (wider = more precise).
+    n_bands:
+        Independent hash tables — more bands raise candidate recall.
+    """
+
+    def __init__(self, dim: int, n_planes: int = 8, n_bands: int = 4,
+                 seed: int = 0):
+        if dim <= 0 or n_planes <= 0 or n_bands <= 0:
+            raise ValueError("dim, n_planes and n_bands must be positive")
+        rng = np.random.default_rng(seed)
+        self.planes = rng.standard_normal((n_bands, n_planes, dim))
+        self.n_bands = n_bands
+        self.dim = dim
+        self._tables: list[dict[tuple, list[int]]] = [dict() for _ in range(n_bands)]
+        self._vectors: list[np.ndarray] = []
+
+    def _keys(self, vector: np.ndarray) -> list[tuple]:
+        signs = (self.planes @ np.asarray(vector, float)) > 0  # (bands, planes)
+        return [tuple(band.tolist()) for band in signs]
+
+    def add(self, vector: np.ndarray) -> int:
+        """Index a vector; returns its integer id."""
+        if len(vector) != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {len(vector)}")
+        idx = len(self._vectors)
+        self._vectors.append(np.asarray(vector, float))
+        for table, key in zip(self._tables, self._keys(vector)):
+            table.setdefault(key, []).append(idx)
+        return idx
+
+    def add_all(self, vectors: np.ndarray) -> None:
+        for vector in vectors:
+            self.add(vector)
+
+    def candidates(self, vector: np.ndarray) -> set[int]:
+        """Ids sharing at least one band bucket with ``vector``."""
+        out: set[int] = set()
+        for table, key in zip(self._tables, self._keys(vector)):
+            out.update(table.get(key, ()))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def query(self, vector: np.ndarray, k: int,
+              exclude: int | None = None) -> list[tuple[int, float]]:
+        """Top-k cosine neighbours among LSH candidates.
+
+        Falls back to brute force over everything indexed when blocking
+        returns fewer than ``k`` candidates, so results never silently
+        shrink.
+        """
+        from .similarity import cosine_similarity
+
+        cands = self.candidates(vector)
+        if exclude is not None:
+            cands.discard(exclude)
+        if len(cands) < k:
+            cands = set(range(len(self._vectors)))
+            if exclude is not None:
+                cands.discard(exclude)
+        scored = [(i, cosine_similarity(vector, self._vectors[i])) for i in cands]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]

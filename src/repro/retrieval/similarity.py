@@ -1,0 +1,41 @@
+"""Batched cosine similarity and top-k ranking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize_rows(matrix: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """L2-normalize each row; zero rows stay zero."""
+    matrix = np.asarray(matrix, dtype=float)
+    norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+    return matrix / np.maximum(norms, eps)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0 when either is zero)."""
+    a, b = np.asarray(a, float), np.asarray(b, float)
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(a @ b / (na * nb))
+
+
+def cosine_matrix(queries: np.ndarray, items: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities, shape ``(len(queries), len(items))``."""
+    return normalize_rows(queries) @ normalize_rows(items).T
+
+
+def top_k(query: np.ndarray, items: np.ndarray, k: int,
+          exclude: int | None = None) -> list[tuple[int, float]]:
+    """Indices and similarities of the ``k`` most cosine-similar rows.
+
+    ``exclude`` removes one index (typically the query itself) from the
+    ranking.  Ties break deterministically by index.
+    """
+    sims = cosine_matrix(query[None, :], items)[0]
+    if exclude is not None:
+        sims[exclude] = -np.inf
+    k = min(k, len(sims))
+    order = np.argsort(-sims, kind="stable")[:k]
+    return [(int(i), float(sims[i])) for i in order if np.isfinite(sims[i])]

@@ -1,0 +1,86 @@
+"""Bi-dimensional hierarchical coordinates (Section 2.3, Figure 1).
+
+Every cell gets two coordinate vectors — one per coordinate tree
+(horizontal/HMD and vertical/VMD) — plus a nested coordinate for cells
+inside nested tables.  For a relational table the coordinates reduce to
+regular Cartesian coordinates, exactly as the paper notes; for cells
+without nesting the nested coordinate is the default ``(0, 0)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BiCoordinates:
+    """Coordinates of one cell.
+
+    Attributes
+    ----------
+    horizontal:
+        Path positions through the horizontal (HMD) coordinate tree —
+        the ``<2,7>`` part of Figure 1's ``(<2,7>;<1,3>)``.
+    vertical:
+        Path positions through the vertical (VMD) coordinate tree.
+    row, col:
+        Cartesian grid position of the cell in the data region
+        (0-based).  These feed the x_vr/x_vc/x_hr/x_hc embeddings.
+    nested:
+        ``(row, col)`` inside the enclosing nested table, 1-based as in
+        the paper ("starting with index 1"); ``(0, 0)`` when the cell is
+        not inside a nested table.
+    """
+
+    horizontal: tuple[int, ...] = ()
+    vertical: tuple[int, ...] = ()
+    row: int = 0
+    col: int = 0
+    nested: tuple[int, int] = (0, 0)
+
+    @property
+    def is_nested(self) -> bool:
+        return self.nested != (0, 0)
+
+    def render(self) -> str:
+        """Figure-1 style rendering, e.g. ``(<2,7>;<1,3>)``."""
+        h = ",".join(str(i) for i in self.horizontal) or str(self.col)
+        v = ",".join(str(i) for i in self.vertical) or str(self.row)
+        text = f"(<{h}>;<{v}>)"
+        if self.is_nested:
+            text += f"@{self.nested}"
+        return text
+
+    def embedding_indexes(self, clamp: int) -> tuple[int, int, int, int, int, int]:
+        """The six position ids (x_vr, x_vc, x_hr, x_hc, x_nr, x_nc).
+
+        Section 3.1 "Out-position": one-hot row/column indexes for the
+        vertical, horizontal and nested coordinates, clamped to the
+        maximum table size ``G``.
+        """
+        def clip(x: int) -> int:
+            return min(max(int(x), 0), clamp - 1)
+
+        v_row, v_col = self.row, (self.vertical[-1] if self.vertical else 0)
+        h_row, h_col = (self.horizontal[-1] if self.horizontal else 0), self.col
+        n_row, n_col = self.nested
+        return tuple(clip(x) for x in (v_row, v_col, h_row, h_col, n_row, n_col))
+
+
+@dataclass(frozen=True)
+class CoordinateContext:
+    """Coordinate trees of the enclosing table, used to derive
+    :class:`BiCoordinates` for each cell; kept immutable so cells can
+    share it."""
+
+    hmd_coordinate: tuple[tuple[int, ...], ...] = field(default=())
+    vmd_coordinate: tuple[tuple[int, ...], ...] = field(default=())
+
+    def for_cell(self, row: int, col: int,
+                 nested: tuple[int, int] = (0, 0)) -> BiCoordinates:
+        horizontal = self.hmd_coordinate[col] if col < len(self.hmd_coordinate) else ()
+        vertical = self.vmd_coordinate[row] if row < len(self.vmd_coordinate) else ()
+        return BiCoordinates(
+            horizontal=horizontal, vertical=vertical,
+            row=row, col=col, nested=nested,
+        )

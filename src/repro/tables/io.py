@@ -1,0 +1,29 @@
+"""Corpus persistence: save/load lists of tables as JSON lines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .table import Table
+
+
+def save_corpus(tables: list[Table], path: str | Path) -> Path:
+    """Write one table per line as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for table in tables:
+            fh.write(json.dumps(table.to_dict()) + "\n")
+    return path
+
+
+def load_corpus(path: str | Path) -> list[Table]:
+    """Read a JSON-lines corpus written by :func:`save_corpus`."""
+    tables: list[Table] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                tables.append(Table.from_dict(json.loads(line)))
+    return tables

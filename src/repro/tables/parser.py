@@ -1,0 +1,65 @@
+"""Parse raw rectangular grids into :class:`~repro.tables.table.Table`.
+
+Real corpora arrive as grids of strings where the first ``h`` rows are
+horizontal metadata and the first ``v`` columns are vertical metadata;
+merged (spanning) labels appear once and repeat as empty strings.  This
+is the entry point the metadata classifiers feed (they predict ``h`` and
+``v``); tests and generators use it directly.
+"""
+
+from __future__ import annotations
+
+from .table import Table
+
+
+def parse_grid(grid: list[list[str]], n_header_rows: int = 1,
+               n_header_cols: int = 0, caption: str = "",
+               topic: str | None = None) -> Table:
+    """Split a raw grid into HMD / VMD / data and build a table.
+
+    Parameters
+    ----------
+    grid:
+        Rectangular list of rows of strings (or nested ``Table`` objects
+        in the data region).  Empty strings under/right of a label are
+        treated as the continuation of a merged span.
+    n_header_rows:
+        Number of leading rows that are horizontal metadata levels.
+    n_header_cols:
+        Number of leading columns that are vertical metadata levels.
+    """
+    if not grid:
+        raise ValueError("empty grid")
+    width = len(grid[0])
+    if any(len(row) != width for row in grid):
+        raise ValueError("grid is ragged")
+    if n_header_rows >= len(grid):
+        raise ValueError("no data rows left after removing header rows")
+    if n_header_cols >= width:
+        raise ValueError("no data columns left after removing header columns")
+
+    header_rows = [
+        [_label_or_none(slot) for slot in row[n_header_cols:]]
+        for row in grid[:n_header_rows]
+    ]
+    body = grid[n_header_rows:]
+    header_cols = [
+        [_label_or_none(row[level]) for row in body]
+        for level in range(n_header_cols)
+    ]
+    data = [row[n_header_cols:] for row in body]
+    return Table(
+        caption=caption,
+        header_rows=header_rows,
+        data=data,
+        header_cols=header_cols or None,
+        topic=topic,
+    )
+
+
+def _label_or_none(slot) -> str | None:
+    """Merged-span continuations (empty strings) become ``None``."""
+    if slot is None:
+        return None
+    text = str(slot).strip()
+    return text if text else None

@@ -1,0 +1,172 @@
+"""Typed cell values: text, numbers with units, ranges, gaussians, nesting.
+
+The paper's BiN tables contain "strings, numbers with and without units,
+ranges, Gaussians, and nested tables" (Section 2.2).  Cell parsing here
+recognizes each shape; the TabBiN embedding layer then encodes numeric
+features (E_num), unit bits (E_fmt) and nested coordinates (E_tpos) from
+the parsed value.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..text.units import unit_category
+
+_NUMBER = r"[+-]?(?:\d+\.?\d*|\.\d+)"
+_UNIT = r"[%a-zA-Z\N{DEGREE SIGN}][\w%\N{DEGREE SIGN}]*(?:\s+[a-zA-Z]+)?"
+
+_NUMBER_RE = re.compile(rf"^\s*(?P<num>{_NUMBER})\s*(?P<unit>{_UNIT})?\s*$")
+_RANGE_RE = re.compile(
+    rf"^\s*(?P<start>{_NUMBER})\s*(?:-|–|—|to)\s*(?P<end>{_NUMBER})"
+    rf"\s*(?P<unit>{_UNIT})?\s*$",
+    re.IGNORECASE,
+)
+_GAUSSIAN_RE = re.compile(
+    rf"^\s*(?P<mean>{_NUMBER})\s*(?:±|\+/-)\s*(?P<std>{_NUMBER})"
+    rf"\s*(?P<unit>{_UNIT})?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class CellValue:
+    """Base class for parsed cell payloads."""
+
+    def render(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TextValue(CellValue):
+    """A plain string cell."""
+
+    text: str
+
+    def render(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class NumberValue(CellValue):
+    """A numeric cell, optionally annotated with a unit.
+
+    ``unit`` is the surface spelling (e.g. ``"months"``); ``category`` is
+    one of the paper's seven unit categories or ``None``.
+    """
+
+    value: float
+    unit: str | None = None
+    category: str | None = None
+
+    def render(self) -> str:
+        text = _format_number(self.value)
+        return f"{text} {self.unit}" if self.unit else text
+
+
+@dataclass(frozen=True)
+class RangeValue(CellValue):
+    """A numeric range ``start–end`` with an optional shared unit.
+
+    The paper treats ranges "according to their semantics, not blindly as
+    a sequence of numbers" — the composite embedding concatenates
+    attribute, unit, range start and range end (Figure 4b).
+    """
+
+    start: float
+    end: float
+    unit: str | None = None
+    category: str | None = None
+
+    def render(self) -> str:
+        text = f"{_format_number(self.start)}-{_format_number(self.end)}"
+        return f"{text} {self.unit}" if self.unit else text
+
+    @property
+    def width(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class GaussianValue(CellValue):
+    """A ``mean ± std`` cell, common in medical result tables."""
+
+    mean: float
+    std: float
+    unit: str | None = None
+    category: str | None = None
+
+    def render(self) -> str:
+        text = f"{_format_number(self.mean)} \N{PLUS-MINUS SIGN} {_format_number(self.std)}"
+        return f"{text} {self.unit}" if self.unit else text
+
+
+@dataclass(frozen=True)
+class NestedTableValue(CellValue):
+    """A whole table nested inside a cell, with its own metadata.
+
+    The payload is a :class:`repro.tables.table.Table`; typed as ``Any``
+    here to keep the value layer free of circular imports.
+    """
+
+    table: Any = field(repr=False)
+
+    def render(self) -> str:
+        caption = getattr(self.table, "caption", "")
+        return f"[nested table: {caption}]" if caption else "[nested table]"
+
+
+def _format_number(x: float) -> str:
+    if float(x).is_integer():
+        return str(int(x))
+    return f"{x:.10g}"
+
+
+def parse_value(text: str) -> CellValue:
+    """Parse raw cell text into the most specific value shape.
+
+    Order matters: gaussian before range before number, because the
+    broader patterns subsume the narrower ones' prefixes.
+    """
+    stripped = text.strip()
+    if not stripped:
+        return TextValue("")
+
+    match = _GAUSSIAN_RE.match(stripped)
+    if match:
+        unit, cat = _unit_of(match)
+        if unit is not None or match.group("unit") is None:
+            return GaussianValue(
+                float(match.group("mean")), float(match.group("std")), unit, cat
+            )
+
+    match = _RANGE_RE.match(stripped)
+    if match:
+        unit, cat = _unit_of(match)
+        if unit is not None or match.group("unit") is None:
+            start, end = float(match.group("start")), float(match.group("end"))
+            # Reject year-like spans handled better as text/dates (2010-2014
+            # is still a range numerically, so only reject reversed bounds).
+            if end >= start:
+                return RangeValue(start, end, unit, cat)
+
+    match = _NUMBER_RE.match(stripped)
+    if match:
+        unit, cat = _unit_of(match)
+        if unit is not None or match.group("unit") is None:
+            return NumberValue(float(match.group("num")), unit, cat)
+
+    return TextValue(stripped)
+
+
+def _unit_of(match: re.Match) -> tuple[str | None, str | None]:
+    """Normalize a regex-captured unit; unknown units are dropped."""
+    raw = match.group("unit")
+    if raw is None:
+        return None, None
+    unit = raw.strip().lower()
+    category = unit_category(unit)
+    if category is None:
+        return None, None
+    return unit, category

@@ -1,0 +1,116 @@
+"""Curated gazetteers shared by type inference and the synthetic corpora.
+
+The paper uses scispaCy [60] plus a custom named-entity list (vaccines,
+treatments, therapies, prescriptions) and spaCy's ``en_core_web_sm`` for
+generic entities.  Offline, we replace both with these curated lists: the
+synthetic generators draw surface forms from them, and
+:mod:`repro.text.types` looks entities up in them — giving the same
+interface (14 semantic types) and the same failure mode (unknown
+strings fall back to ``text``).
+"""
+
+from __future__ import annotations
+
+DISEASES = (
+    "colorectal cancer", "colon cancer", "rectal cancer", "breast cancer",
+    "lung cancer", "melanoma", "leukemia", "lymphoma", "covid-19",
+    "influenza", "pneumonia", "diabetes", "hypertension", "asthma",
+    "hepatitis", "tuberculosis", "malaria", "anemia", "sepsis",
+    "metastatic carcinoma", "adenocarcinoma", "polyposis", "colitis",
+    "crohn disease", "sars-cov-2 infection",
+)
+
+DRUGS = (
+    "ramucirumab", "bevacizumab", "cetuximab", "panitumumab", "oxaliplatin",
+    "irinotecan", "fluoropyrimidine", "fluorouracil", "capecitabine",
+    "leucovorin", "regorafenib", "aflibercept", "pembrolizumab",
+    "nivolumab", "trastuzumab", "remdesivir", "dexamethasone", "paxlovid",
+    "molnupiravir", "aspirin", "metformin", "ibuprofen", "paracetamol",
+    "hydroxychloroquine", "azithromycin",
+)
+
+VACCINES = (
+    "moderna", "pfizer", "biontech", "covaxin", "sputnik v", "sinovac",
+    "astrazeneca", "janssen", "novavax", "covishield", "mrna-1273",
+    "bnt162b2", "ad26.cov2.s", "nvx-cov2373",
+)
+
+TREATMENTS = (
+    "chemotherapy", "radiotherapy", "immunotherapy", "surgery",
+    "folfox", "folfiri", "xelox", "targeted therapy", "hormone therapy",
+    "palliative care", "adjuvant therapy", "neoadjuvant therapy",
+    "stem cell transplant", "dialysis", "ventilation", "oxygen therapy",
+    "monoclonal antibody therapy", "booster dose",
+)
+
+SYMPTOMS = (
+    "fever", "cough", "fatigue", "headache", "nausea", "vomiting",
+    "diarrhea", "dyspnea", "anosmia", "myalgia", "sore throat",
+    "weight loss", "abdominal pain", "rectal bleeding",
+)
+
+PERSON_FIRST = (
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "sam",
+    "paul", "anna", "maria", "peter", "laura", "kevin", "emma",
+)
+
+PERSON_LAST = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "clark", "lewis",
+)
+
+PLACES = (
+    "new york", "los angeles", "chicago", "houston", "phoenix",
+    "philadelphia", "san antonio", "san diego", "dallas", "tallahassee",
+    "tampa", "miami", "atlanta", "boston", "seattle", "denver", "london",
+    "paris", "berlin", "madrid", "rome", "tokyo", "florida", "texas",
+    "california", "georgia", "ohio", "virginia", "arizona", "colorado",
+)
+
+ORGANIZATIONS = (
+    "florida state university", "university of south florida", "harvard",
+    "stanford", "mit", "oxford", "cambridge", "mayo clinic", "nih", "cdc",
+    "who", "fda", "pfizer inc", "moderna inc", "real madrid", "barcelona",
+    "manchester united", "juventus", "bayern munich", "yankees", "dodgers",
+    "red sox", "rolling stone", "forbes", "national geographic", "vogue",
+    "time magazine",
+)
+
+MEASUREMENTS = (
+    "overall survival", "progression free survival", "hazard ratio",
+    "odds ratio", "response rate", "median age", "body mass index",
+    "blood pressure", "heart rate", "tumor size", "dosage", "efficacy",
+    "incidence rate", "mortality rate", "case fatality rate",
+    "vaccination rate", "crime rate", "population", "median income",
+    "unemployment rate", "enrollment", "attendance", "gdp",
+)
+
+CRIMES = (
+    "murder", "robbery", "burglary", "larceny", "arson", "assault",
+    "motor vehicle theft", "rape", "violent crime", "property crime",
+    "fraud", "vandalism",
+)
+
+MUSIC_GENRES = (
+    "rock", "pop", "jazz", "blues", "hip hop", "country", "classical",
+    "electronic", "reggae", "folk", "metal", "soul", "punk", "disco",
+)
+
+#: Mapping used by the generators to stamp gold entity types, and by type
+#: inference to recover them.  Keys are type names from
+#: :mod:`repro.text.types`.
+GAZETTEERS: dict[str, tuple[str, ...]] = {
+    "disease": DISEASES + SYMPTOMS,
+    "drug": DRUGS,
+    "vaccine": VACCINES,
+    "treatment": TREATMENTS,
+    "person": tuple(f"{f} {l}" for f, l in zip(PERSON_FIRST, PERSON_LAST))
+    + PERSON_FIRST,
+    "place": PLACES,
+    "organization": ORGANIZATIONS,
+    "measurement": MEASUREMENTS + CRIMES + MUSIC_GENRES,
+}

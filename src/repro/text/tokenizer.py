@@ -1,0 +1,149 @@
+"""WordPiece-style subword tokenizer.
+
+The paper tokenizes cells "using [22]" (BERT's WordPiece) over the
+BioBERT vocabulary.  BioBERT's vocabulary is unavailable offline, so we
+train an equivalent WordPiece vocabulary directly on our corpora:
+characters seed the vocabulary, pairs are merged by the WordPiece score
+``freq(ab) / (freq(a) * freq(b))``, and encoding is greedy
+longest-match-first with ``##`` continuation pieces.
+
+Numbers are replaced by the special ``[VAL]`` token at encode time, as in
+Section 3.1 ("The numbers are tokenized using the special token [VAL]");
+their numeric features are carried by the E_num embedding instead.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+from .vocab import UNK, VAL, Vocabulary
+
+_WORD_RE = re.compile(r"[a-z0-9]+(?:\.[0-9]+)?|[^\sa-z0-9]", re.IGNORECASE)
+_NUMBER_RE = re.compile(r"^[+-]?(\d+\.?\d*|\.\d+)$")
+
+
+def pretokenize(text: str) -> list[str]:
+    """Lowercase and split into words / numbers / punctuation marks."""
+    return _WORD_RE.findall(text.lower())
+
+
+def is_number_token(token: str) -> bool:
+    return bool(_NUMBER_RE.match(token))
+
+
+class WordPieceTokenizer:
+    """Greedy longest-match WordPiece encoder over a trained vocabulary."""
+
+    def __init__(self, vocab: Vocabulary, max_word_chars: int = 32):
+        self.vocab = vocab
+        self.max_word_chars = max_word_chars
+
+    # -- encoding -------------------------------------------------------
+    def tokenize(self, text: str, numbers_to_val: bool = True) -> list[str]:
+        """Split ``text`` into WordPiece tokens (strings)."""
+        pieces: list[str] = []
+        for word in pretokenize(text):
+            if numbers_to_val and is_number_token(word):
+                pieces.append(VAL)
+                continue
+            pieces.extend(self._wordpiece(word))
+        return pieces
+
+    def encode(self, text: str, numbers_to_val: bool = True) -> list[int]:
+        """Token ids for ``text``."""
+        return [self.vocab.id(piece) for piece in self.tokenize(text, numbers_to_val)]
+
+    def decode(self, ids: list[int]) -> str:
+        """Best-effort inverse of :meth:`encode` (joins ## pieces)."""
+        words: list[str] = []
+        for idx in ids:
+            token = self.vocab.token(idx)
+            if token.startswith("##") and words:
+                words[-1] += token[2:]
+            else:
+                words.append(token)
+        return " ".join(words)
+
+    def _wordpiece(self, word: str) -> list[str]:
+        if len(word) > self.max_word_chars:
+            return [UNK]
+        pieces: list[str] = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            piece = None
+            while end > start:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = "##" + candidate
+                if candidate in self.vocab:
+                    piece = candidate
+                    break
+                end -= 1
+            if piece is None:
+                return [UNK]
+            pieces.append(piece)
+            start = end
+        return pieces
+
+    # -- training ---------------------------------------------------------
+    @classmethod
+    def train(cls, corpus: list[str], vocab_size: int = 2000,
+              min_pair_freq: int = 2) -> "WordPieceTokenizer":
+        """Learn a WordPiece vocabulary from raw texts.
+
+        Numbers never enter the vocabulary (they encode as ``[VAL]``).
+        """
+        word_freqs: Counter[str] = Counter()
+        for text in corpus:
+            for word in pretokenize(text):
+                if not is_number_token(word):
+                    word_freqs[word] += 1
+
+        # Seed with single characters (continuation and word-initial).
+        splits = {
+            word: [word[0]] + ["##" + ch for ch in word[1:]]
+            for word in word_freqs
+        }
+        vocab_tokens: dict[str, None] = {}
+        for pieces in splits.values():
+            for piece in pieces:
+                vocab_tokens.setdefault(piece, None)
+
+        while len(vocab_tokens) < vocab_size:
+            pair_freqs: Counter[tuple[str, str]] = Counter()
+            piece_freqs: Counter[str] = Counter()
+            for word, freq in word_freqs.items():
+                pieces = splits[word]
+                for piece in pieces:
+                    piece_freqs[piece] += freq
+                for a, b in zip(pieces, pieces[1:]):
+                    pair_freqs[(a, b)] += freq
+            if not pair_freqs:
+                break
+            best_pair, best_score = None, 0.0
+            for (a, b), freq in pair_freqs.items():
+                if freq < min_pair_freq:
+                    continue
+                score = freq / (piece_freqs[a] * piece_freqs[b])
+                if score > best_score:
+                    best_pair, best_score = (a, b), score
+            if best_pair is None:
+                break
+            merged = best_pair[0] + best_pair[1].removeprefix("##")
+            vocab_tokens.setdefault(merged, None)
+            a, b = best_pair
+            for word, pieces in splits.items():
+                out: list[str] = []
+                i = 0
+                while i < len(pieces):
+                    if i + 1 < len(pieces) and pieces[i] == a and pieces[i + 1] == b:
+                        out.append(merged)
+                        i += 2
+                    else:
+                        out.append(pieces[i])
+                        i += 1
+                splits[word] = out
+
+        return cls(Vocabulary(sorted(vocab_tokens)))

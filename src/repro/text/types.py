@@ -1,0 +1,105 @@
+"""Semantic type inference with exactly 14 supported types.
+
+Section 3.1 ("Type Inference"): the paper tags chemicals, diseases,
+medication types, drugs via scispaCy, generic entities (names, places,
+measurements) via spaCy, and numeric / range / text via regex — "The
+type inference mapping has a finite set of size T = 14", and "All tokens
+in a cell get the same type".
+
+This module reproduces that contract offline: regexes classify numeric
+shapes (number, range, gaussian, percent, date) and gazetteers classify
+entities; anything unknown is ``text``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .gazetteers import GAZETTEERS
+
+#: The 14 supported types, in fixed id order (T = 14 in the paper).
+TYPE_NAMES = (
+    "text",          # 0 - fallback
+    "number",        # 1 - plain numeric value
+    "range",         # 2 - numeric range, e.g. 20-30
+    "gaussian",      # 3 - mean +/- spread, e.g. 12.3 +/- 4.5
+    "percent",       # 4 - percentage
+    "date",          # 5 - calendar date or year
+    "person",        # 6
+    "place",         # 7
+    "organization",  # 8
+    "disease",       # 9 - includes symptoms
+    "drug",          # 10
+    "vaccine",       # 11
+    "treatment",     # 12
+    "measurement",   # 13 - named quantities (overall survival, crime rate ...)
+)
+NUM_TYPES = len(TYPE_NAMES)
+TYPE_TO_ID = {name: i for i, name in enumerate(TYPE_NAMES)}
+
+_NUMBER_RE = re.compile(r"^\s*[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?\s*[%\w]*\s*$")
+_PERCENT_RE = re.compile(r"^\s*[+-]?\d+(\.\d+)?\s*(%|percent)\s*$", re.IGNORECASE)
+_RANGE_RE = re.compile(
+    r"^\s*[+-]?\d+(\.\d+)?\s*(-|–|—|to)\s*[+-]?\d+(\.\d+)?\s*[%\w]*\s*$",
+    re.IGNORECASE,
+)
+_GAUSSIAN_RE = re.compile(
+    r"^\s*[+-]?\d+(\.\d+)?\s*(±|\+/-)\s*\d+(\.\d+)?\s*[%\w]*\s*$"
+    r"|^\s*[+-]?\d+(\.\d+)?\s*\(\s*sd\s*[:=]?\s*\d+(\.\d+)?\s*\)\s*$",
+    re.IGNORECASE,
+)
+_YEAR_RE = re.compile(r"^\s*(19|20)\d{2}\s*$")
+_DATE_RE = re.compile(
+    r"^\s*(\d{4}-\d{2}-\d{2}|\d{1,2}/\d{1,2}/\d{2,4}"
+    r"|(jan|feb|mar|apr|may|jun|jul|aug|sep|oct|nov|dec)[a-z]*\.?\s+\d{1,2}"
+    r"(\s*,?\s*\d{4})?)\s*$",
+    re.IGNORECASE,
+)
+
+
+class TypeInference:
+    """Map cell text to one of the 14 semantic types.
+
+    Gazetteer entries can be extended per corpus, mirroring the paper's
+    "custom list of named-entities ... for our datasets".
+    """
+
+    def __init__(self, extra_gazetteers: dict[str, tuple[str, ...]] | None = None):
+        self._gazetteer: dict[str, str] = {}
+        merged: dict[str, tuple[str, ...]] = {k: tuple(v) for k, v in GAZETTEERS.items()}
+        for type_name, phrases in (extra_gazetteers or {}).items():
+            if type_name not in TYPE_TO_ID:
+                raise ValueError(f"unknown type name: {type_name}")
+            merged[type_name] = merged.get(type_name, ()) + tuple(phrases)
+        for type_name, phrases in merged.items():
+            for phrase in phrases:
+                self._gazetteer[phrase.lower()] = type_name
+
+    def infer(self, text: str) -> str:
+        """Type name for a cell's raw text."""
+        stripped = text.strip()
+        if not stripped:
+            return "text"
+        lowered = stripped.lower()
+        entity = self._gazetteer.get(lowered)
+        if entity is not None:
+            return entity
+        if _PERCENT_RE.match(stripped):
+            return "percent"
+        if _GAUSSIAN_RE.match(stripped):
+            return "gaussian"
+        if _RANGE_RE.match(stripped) and not _DATE_RE.match(stripped):
+            return "range"
+        if _YEAR_RE.match(stripped) or _DATE_RE.match(stripped):
+            return "date"
+        if _NUMBER_RE.match(stripped) and any(c.isdigit() for c in stripped):
+            return "number"
+        # Fall back to a token-level gazetteer scan for multi-word cells.
+        for phrase, type_name in self._gazetteer.items():
+            if " " in phrase and phrase in lowered:
+                return type_name
+        return "text"
+
+    def infer_id(self, text: str) -> int:
+        """Type id (0..13) for a cell's raw text."""
+        return TYPE_TO_ID[self.infer(text)]

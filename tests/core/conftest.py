@@ -1,0 +1,46 @@
+"""Shared fixtures for core tests: tiny tokenizer/serializer/models."""
+
+import numpy as np
+import pytest
+
+from repro.core import TabBiNConfig, TabBiNEmbedder, TabBiNSerializer, corpus_texts
+from repro.core.model import TabBiNModel
+from repro.tables import figure1_table, table1_nested, table2_relational
+from repro.text import TypeInference, WordPieceTokenizer
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return [figure1_table(), table1_nested(), table2_relational()]
+
+
+@pytest.fixture(scope="session")
+def tokenizer(corpus):
+    return WordPieceTokenizer.train(corpus_texts(corpus), vocab_size=400)
+
+
+@pytest.fixture(scope="session")
+def config(tokenizer):
+    return TabBiNConfig.tiny().with_vocab(len(tokenizer.vocab))
+
+
+@pytest.fixture(scope="session")
+def serializer(tokenizer, config):
+    return TabBiNSerializer(tokenizer, TypeInference(), config)
+
+
+@pytest.fixture(scope="session")
+def model(config, tokenizer):
+    m = TabBiNModel(config, pad_id=tokenizer.vocab.pad_id,
+                    rng=np.random.default_rng(0))
+    m.eval()
+    return m
+
+
+@pytest.fixture(scope="session")
+def embedder(corpus):
+    """A lightly pre-trained embedder shared across tests."""
+    emb, _stats = TabBiNEmbedder.build(
+        corpus * 2, config=TabBiNConfig.tiny(), steps=5, vocab_size=400, seed=0,
+    )
+    return emb

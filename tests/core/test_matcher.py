@@ -1,0 +1,63 @@
+"""TabBiNMatcher (entity-matching head) unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import TabBiNMatcher
+from repro.datasets import EntityPair, entity_pairs_from_corpus, load_dataset
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    corpus = load_dataset("webtables", n_tables=16, seed=13)
+    return entity_pairs_from_corpus(corpus, n_pairs=40, seed=0)
+
+
+class TestMatcher:
+    def test_requires_positive_ensemble(self, embedder):
+        with pytest.raises(ValueError):
+            TabBiNMatcher(embedder, ensemble=0)
+
+    def test_predict_before_fit_raises(self, embedder, pairs):
+        matcher = TabBiNMatcher(embedder, ensemble=1)
+        with pytest.raises(RuntimeError):
+            matcher.predict(pairs[:2])
+
+    def test_pair_features_layout(self, embedder, pairs):
+        matcher = TabBiNMatcher(embedder, ensemble=1)
+        features = matcher.pair_features(pairs[0])
+        H = embedder.hidden
+        assert features.shape == (4 * H,)
+        a, b = features[:H], features[H:2 * H]
+        assert np.allclose(features[2 * H:3 * H], np.abs(a - b))
+        assert np.allclose(features[3 * H:], a * b)
+
+    def test_learns_separable_pairs(self, embedder, pairs):
+        matcher = TabBiNMatcher(embedder, ensemble=2, seed=0)
+        matcher.fit(pairs, epochs=60)
+        assert matcher.evaluate_f1(pairs) > 0.7
+
+    def test_probabilities_are_distributions(self, embedder, pairs):
+        matcher = TabBiNMatcher(embedder, ensemble=2, seed=0)
+        matcher.fit(pairs[:20], epochs=10)
+        probs = matcher.predict_proba(pairs[:6])
+        assert probs.shape == (6, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_ensemble_determinism(self, embedder, pairs):
+        m1 = TabBiNMatcher(embedder, ensemble=2, seed=5)
+        m1.fit(pairs[:20], epochs=10)
+        m2 = TabBiNMatcher(embedder, ensemble=2, seed=5)
+        m2.fit(pairs[:20], epochs=10)
+        assert m1.predict(pairs[:10]) == m2.predict(pairs[:10])
+
+    def test_identical_pair_scores_matchy(self, embedder, pairs):
+        matcher = TabBiNMatcher(embedder, ensemble=2, seed=0)
+        matcher.fit(pairs, epochs=60)
+        text = "COL entity VAL chicago COL type VAL place"
+        same = EntityPair(text, text, 1)
+        proba = matcher.predict_proba([same])[0, 1]
+        different = next(p for p in pairs if p.label == 0)
+        proba_diff = matcher.predict_proba([different])[0, 1]
+        assert proba > proba_diff

@@ -1,0 +1,153 @@
+"""Embedding layer and TabBiN model tests, including ablations."""
+
+import numpy as np
+import pytest
+
+from repro.core import TabBiNConfig
+from repro.core.embedding_layer import TabBiNEmbedding
+from repro.core.model import TabBiNModel
+from repro.tables import figure1_table, table2_relational
+
+
+def batch_for(serializer, tokenizer, table, segment="row"):
+    sequences = serializer.serialize(table, segment)
+    arrays = TabBiNEmbedding.batch_arrays(sequences, tokenizer.vocab.pad_id)
+    return sequences, arrays
+
+
+class TestEmbeddingLayer:
+    def test_requires_vocab(self):
+        with pytest.raises(ValueError):
+            TabBiNEmbedding(TabBiNConfig.tiny())
+
+    def test_hidden_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            TabBiNConfig(hidden=50)
+
+    def test_output_shape(self, serializer, tokenizer, config):
+        emb = TabBiNEmbedding(config, rng=np.random.default_rng(0))
+        _seqs, arrays = batch_for(serializer, tokenizer, figure1_table())
+        token_ids, numeric, cell_pos, coords, type_ids, features, _valid = arrays
+        out = emb(token_ids, numeric, cell_pos, coords, type_ids, features)
+        assert out.shape == (*token_ids.shape, config.hidden)
+
+    def test_six_components_change_output(self, serializer, tokenizer, config):
+        """Perturbing each feature stream changes the embedding."""
+        emb = TabBiNEmbedding(config, rng=np.random.default_rng(0))
+        emb.eval()
+        _seqs, arrays = batch_for(serializer, tokenizer, figure1_table())
+        token_ids, numeric, cell_pos, coords, type_ids, features, _valid = arrays
+        base = emb(token_ids, numeric, cell_pos, coords, type_ids, features).data
+
+        for stream, arr in [("numeric", numeric), ("cell_pos", cell_pos),
+                            ("coords", coords), ("type_ids", type_ids)]:
+            changed = arr.copy()
+            changed.flat[0] = (changed.flat[0] + 1) % 5
+            kwargs = dict(token_ids=token_ids, numeric=numeric,
+                          cell_pos=cell_pos, coords=coords,
+                          type_ids=type_ids, features=features)
+            kwargs[stream] = changed
+            out = emb(**kwargs).data
+            assert not np.allclose(out, base), stream
+
+        flipped = features.copy()
+        flipped[0, 0, 0] = 1 - flipped[0, 0, 0]
+        out = emb(token_ids, numeric, cell_pos, coords, type_ids, flipped).data
+        assert not np.allclose(out, base)
+
+    @pytest.mark.parametrize("component,stream_index", [
+        ("coords", 3), ("type", 4), ("units_nesting", 5),
+    ])
+    def test_ablations_silence_their_stream(self, serializer, tokenizer,
+                                            config, component, stream_index):
+        ablated_config = config.ablate(component)
+        emb = TabBiNEmbedding(ablated_config, rng=np.random.default_rng(0))
+        emb.eval()
+        _seqs, arrays = batch_for(serializer, tokenizer, figure1_table())
+        token_ids, numeric, cell_pos, coords, type_ids, features, _valid = arrays
+        base = emb(token_ids, numeric, cell_pos, coords, type_ids, features).data
+        # Changing the ablated stream must not change the output.
+        if component == "coords":
+            changed = coords.copy(); changed += 1
+            out = emb(token_ids, numeric, cell_pos, changed, type_ids, features).data
+        elif component == "type":
+            changed = (type_ids + 1) % 14
+            out = emb(token_ids, numeric, cell_pos, coords, changed, features).data
+        else:
+            changed = 1 - features
+            out = emb(token_ids, numeric, cell_pos, coords, type_ids, changed).data
+        assert np.allclose(out, base)
+
+    def test_unknown_ablation_rejected(self, config):
+        with pytest.raises(ValueError):
+            config.ablate("nonsense")
+
+    def test_batch_arrays_padding(self, serializer, tokenizer):
+        seqs = serializer.serialize(figure1_table(), "row")
+        seqs += serializer.serialize(table2_relational(), "row")
+        arrays = TabBiNEmbedding.batch_arrays(seqs, tokenizer.vocab.pad_id)
+        token_ids, *_rest, valid = arrays
+        assert token_ids.shape[0] == len(seqs)
+        lengths = [len(s) for s in seqs]
+        assert token_ids.shape[1] == max(lengths)
+        for b, n in enumerate(lengths):
+            assert valid[b, :n].all()
+            assert not valid[b, n:].any()
+            assert (token_ids[b, n:] == tokenizer.vocab.pad_id).all()
+
+    def test_empty_batch_rejected(self, tokenizer):
+        with pytest.raises(ValueError):
+            TabBiNEmbedding.batch_arrays([], tokenizer.vocab.pad_id)
+
+
+class TestModel:
+    def test_forward_shapes(self, model, serializer):
+        seqs = serializer.serialize(figure1_table(), "row")
+        hidden, valid = model(seqs)
+        assert hidden.shape == (len(seqs), max(len(s) for s in seqs),
+                                model.config.hidden)
+        assert valid.shape == hidden.shape[:2]
+
+    def test_override_shape_checked(self, model, serializer):
+        seqs = serializer.serialize(figure1_table(), "row")
+        with pytest.raises(ValueError):
+            model(seqs, token_ids_override=np.zeros((1, 1), dtype=np.int64))
+
+    def test_mlm_logits_shape(self, model, serializer, config):
+        seqs = serializer.serialize(table2_relational(), "row")
+        hidden, _valid = model(seqs)
+        logits = model.mlm_logits(hidden)
+        assert logits.shape[-1] == config.vocab_size
+
+    def test_encode_pooled_covers_all_refs(self, model, serializer):
+        seqs = serializer.serialize(table2_relational(), "row")
+        pooled = model.encode_pooled(seqs)
+        assert len(pooled) == len(seqs)
+        for seq, mapping in zip(seqs, pooled):
+            assert set(mapping) == set(range(len(seq.cell_refs)))
+            for vector in mapping.values():
+                assert vector.shape == (model.config.hidden,)
+                assert np.isfinite(vector).all()
+
+    def test_pad_tokens_do_not_change_real_outputs(self, model, serializer):
+        """Batching a short sequence with a long one must not alter it."""
+        short = serializer.serialize(table2_relational(), "row")
+        long = serializer.serialize(figure1_table(), "row")
+        alone = model(short)[0].data[0]
+        together = model(short + long)[0].data[0]
+        n = len(short[0])
+        assert np.allclose(alone[:n], together[:n], atol=1e-10)
+
+    def test_visibility_ablation_changes_output(self, serializer, tokenizer,
+                                                config):
+        seqs = serializer.serialize(figure1_table(), "row")
+        m1 = TabBiNModel(config, pad_id=tokenizer.vocab.pad_id,
+                         rng=np.random.default_rng(1))
+        m1.eval()
+        m2 = TabBiNModel(config.ablate("visibility"),
+                         pad_id=tokenizer.vocab.pad_id,
+                         rng=np.random.default_rng(1))
+        m2.eval()
+        out1 = m1(seqs)[0].data
+        out2 = m2(seqs)[0].data
+        assert not np.allclose(out1, out2)

@@ -1,0 +1,60 @@
+"""Numeric feature extraction — anchored to the paper's worked example."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.numeric_features import NULL_FEATURES, numeric_features
+
+
+class TestPaperExample:
+    def test_20_point_3(self):
+        """Section 3.1: 'number 20.3 ... is encoded as (2, 2, 2, 3)'."""
+        assert numeric_features(20.3) == (2, 2, 2, 3)
+
+
+class TestFeatureRules:
+    @pytest.mark.parametrize("value,expected", [
+        (7.0, (1, 1, 7, 7)),
+        (42.0, (2, 1, 4, 2)),
+        (118.0, (3, 1, 1, 8)),
+        (0.5, (1, 2, 5, 5)),
+        (3.14, (1, 3, 3, 4)),
+        (-20.3, (2, 2, 2, 3)),     # sign ignored
+        (0.0, (1, 1, 0, 0)),
+    ])
+    def test_known_values(self, value, expected):
+        assert numeric_features(value) == expected
+
+    def test_magnitude_clamped_at_10(self):
+        mag, _pre, _fst, _lst = numeric_features(1e15)
+        assert mag == 10
+
+    def test_precision_clamped(self):
+        _mag, pre, _fst, _lst = numeric_features(0.123456789012)
+        assert pre <= 10
+
+    def test_non_finite_gives_null(self):
+        assert numeric_features(math.inf) == NULL_FEATURES
+        assert numeric_features(math.nan) == NULL_FEATURES
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.floats(min_value=-1e9, max_value=1e9,
+                     allow_nan=False, allow_infinity=False))
+    def test_ranges_always_valid(self, x):
+        mag, pre, fst, lst = numeric_features(x)
+        assert 1 <= mag <= 10
+        assert 1 <= pre <= 10
+        assert 0 <= fst <= 10
+        assert 0 <= lst <= 10
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=999_999))
+    def test_integers_have_precision_one(self, n):
+        _mag, pre, fst, lst = numeric_features(float(n))
+        assert pre == 1
+        digits = str(n)
+        assert fst == int(digits[0])
+        assert lst == int(digits[-1])

@@ -1,0 +1,187 @@
+"""Serializer tests: segments, structural tokens, coordinates, nesting."""
+
+import numpy as np
+import pytest
+
+from repro.core import SEGMENTS
+from repro.tables import figure1_table, table1_nested, table2_relational
+
+
+class TestSegments:
+    def test_all_segments_produce_sequences(self, serializer):
+        table = figure1_table()
+        for segment in SEGMENTS:
+            sequences = serializer.serialize(table, segment)
+            assert sequences, segment
+
+    def test_unknown_segment_rejected(self, serializer):
+        with pytest.raises(ValueError):
+            serializer.serialize(figure1_table(), "diagonal")
+
+    def test_relational_table_has_no_vmd_sequences(self, serializer):
+        assert serializer.serialize(table2_relational(), "vmd") == []
+
+    def test_row_and_column_cover_all_cells(self, serializer):
+        table = table2_relational()
+        for segment in ("row", "column"):
+            refs = [r for s in serializer.serialize(table, segment)
+                    for r in s.cell_refs]
+            cells = {(r.row, r.col) for r in refs if r.kind == "data"}
+            assert cells == {(i, j) for i in range(3) for j in range(3)}
+
+
+class TestStructuralTokens:
+    def test_cls_starts_each_row(self, serializer, tokenizer):
+        table = table2_relational()
+        seq = serializer.serialize(table, "row")[0]
+        cls_positions = np.nonzero(seq.token_ids == tokenizer.vocab.cls_id)[0]
+        assert len(cls_positions) == table.n_rows
+
+    def test_sep_between_cells(self, serializer, tokenizer):
+        table = table2_relational()
+        seq = serializer.serialize(table, "row")[0]
+        n_sep = int((seq.token_ids == tokenizer.vocab.sep_id).sum())
+        assert n_sep == table.n_rows * table.n_cols  # one after each cell
+
+    def test_structural_tokens_have_no_cell(self, serializer, tokenizer):
+        seq = serializer.serialize(table2_relational(), "row")[0]
+        for special in (tokenizer.vocab.cls_id,):
+            positions = np.nonzero(seq.token_ids == special)[0]
+            assert all(seq.cell_index[p] == -1 for p in positions)
+
+    def test_numbers_become_val_with_features(self, serializer, tokenizer):
+        table = table2_relational()  # Age column is numeric
+        seq = serializer.serialize(table, "row")[0]
+        val_positions = np.nonzero(seq.token_ids == tokenizer.vocab.val_id)[0]
+        assert len(val_positions) == 3  # three ages
+        for p in val_positions:
+            assert seq.numeric[p].sum() > 0  # real numeric features
+        non_val = np.nonzero(seq.token_ids != tokenizer.vocab.val_id)[0]
+        assert all(seq.numeric[p].sum() == 0 for p in non_val)
+
+
+class TestFeatureStreams:
+    def test_parallel_arrays_aligned(self, serializer):
+        seq = serializer.serialize(figure1_table(), "row")[0]
+        n = len(seq)
+        assert seq.token_ids.shape == (n,)
+        assert seq.numeric.shape == (n, 4)
+        assert seq.cell_pos.shape == (n,)
+        assert seq.coords.shape == (n, 6)
+        assert seq.type_ids.shape == (n,)
+        assert seq.features.shape == (n, 8)
+        assert seq.cell_index.shape == (n,)
+        assert seq.spans.shape == (n, 2)
+
+    def test_in_cell_positions_restart_per_cell(self, serializer):
+        seq = serializer.serialize(figure1_table(), "row")[0]
+        for idx in range(len(seq.cell_refs)):
+            positions = seq.tokens_of_cell(idx)
+            if positions.size:
+                assert seq.cell_pos[positions[0]] == 0
+
+    def test_type_ids_assigned_per_cell(self, serializer):
+        from repro.text.types import TYPE_TO_ID
+
+        seq = serializer.serialize(table1_nested(), "row")[0]
+        # 'ramucirumab' cell tokens typed as drug.
+        drug_cells = [i for i, r in enumerate(seq.cell_refs)
+                      if r.text == "ramucirumab"]
+        assert drug_cells
+        positions = seq.tokens_of_cell(drug_cells[0])
+        assert all(seq.type_ids[p] == TYPE_TO_ID["drug"] for p in positions)
+
+    def test_unit_bits_set(self, serializer):
+        seq = serializer.serialize(figure1_table(), "row")[0]
+        month_cells = [i for i, r in enumerate(seq.cell_refs)
+                       if "months" in r.text]
+        assert month_cells
+        positions = seq.tokens_of_cell(month_cells[0])
+        assert all(seq.features[p][4] == 1 for p in positions)  # time bit
+
+    def test_coordinates_match_cells(self, serializer):
+        table = table2_relational()
+        seq = serializer.serialize(table, "row")[0]
+        for idx, ref in enumerate(seq.cell_refs):
+            positions = seq.tokens_of_cell(idx)
+            for p in positions:
+                vr, _vc, _hr, hc, nr, nc = seq.coords[p]
+                assert (vr, hc) == (ref.row, ref.col)
+                assert (nr, nc) == (0, 0)
+
+
+class TestNesting:
+    def test_nested_tokens_carry_nested_coords(self, serializer):
+        table = table1_nested()
+        seq = serializer.serialize(table, "row")[0]
+        nested_positions = np.nonzero(seq.coords[:, 4] > 0)[0]
+        assert nested_positions.size > 0
+        # Nested tokens inherit the outer cell's grid position.
+        for p in nested_positions:
+            vr, _vc, _hr, hc, nr, nc = seq.coords[p]
+            assert nr >= 1 and nc >= 1
+
+    def test_nested_bit_set_on_outer_cell_only(self, serializer):
+        table = table1_nested()
+        seq = serializer.serialize(table, "row")[0]
+        nested_flag = seq.features[:, 7]
+        nested_coord = seq.coords[:, 4] > 0
+        # All tokens with nested coords belong to a nested cell whose
+        # feature bit is on.
+        assert (nested_flag[nested_coord] == 1).all()
+
+    def test_non_nested_default_zero(self, serializer):
+        seq = serializer.serialize(table2_relational(), "row")[0]
+        assert (seq.coords[:, 4:] == 0).all()
+
+
+class TestMetadataSerialization:
+    def test_hmd_refs_carry_levels_and_spans(self, serializer):
+        table = figure1_table()
+        seq = serializer.serialize(table, "hmd")[0]
+        by_text = {r.text: r for r in seq.cell_refs}
+        assert by_text["Efficacy End Point"].row == 1
+        assert by_text["Efficacy End Point"].span == (0, 3)
+        assert by_text["OS"].row == 2
+        assert by_text["OS"].span == (1, 2)
+
+    def test_vmd_refs(self, serializer):
+        table = figure1_table()
+        seq = serializer.serialize(table, "vmd")[0]
+        texts = {r.text for r in seq.cell_refs}
+        assert "Patient Cohort" in texts
+        assert "Previously Untreated" in texts
+
+
+class TestChunking:
+    def test_sequences_respect_max_len(self, serializer, config):
+        from repro.tables import Table
+
+        big = Table(
+            caption="big",
+            header_rows=[[f"col {j}" for j in range(6)]],
+            data=[[f"value {i} {j}" for j in range(6)] for i in range(30)],
+        )
+        sequences = serializer.serialize(big, "row")
+        assert len(sequences) > 1
+        assert all(len(s) <= config.max_seq_len for s in sequences)
+
+    def test_cell_token_cap(self, serializer, config):
+        from repro.tables import Table
+
+        long_cell = " ".join(f"tok{i}" for i in range(100))
+        t = Table("t", [["a"]], data=[[long_cell]])
+        seq = serializer.serialize(t, "row")[0]
+        assert seq.tokens_of_cell(0).size <= config.max_cell_tokens
+
+
+class TestTextSerialization:
+    def test_serialize_text_single_cell(self, serializer, tokenizer):
+        seq = serializer.serialize_text("ramucirumab")
+        assert seq.token_ids[0] == tokenizer.vocab.cls_id
+        assert len(seq.cell_refs) == 1
+        assert seq.tokens_of_cell(0).size >= 1
+
+    def test_serialize_text_empty_has_no_body(self, serializer):
+        seq = serializer.serialize_text("")
+        assert seq.tokens_of_cell(0).size == 0

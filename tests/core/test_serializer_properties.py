@@ -1,0 +1,78 @@
+"""Property-based serializer/visibility invariants over generated tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_visibility
+from repro.datasets import CANCERKG, CorpusGenerator
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """A pool of diverse generated tables shared by the properties."""
+    profile = CANCERKG.scaled(12)
+    return CorpusGenerator(profile, seed=99).generate()
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_idx=st.integers(min_value=0, max_value=11),
+       segment=st.sampled_from(["row", "column", "hmd", "vmd"]))
+def test_sequences_well_formed(serializer, pool, table_idx, segment):
+    """Every sequence has aligned arrays, bounded ids, valid refs."""
+    table = pool[table_idx]
+    for seq in serializer.serialize(table, segment):
+        n = len(seq)
+        assert seq.token_ids.shape == (n,)
+        assert seq.coords.shape == (n, 6)
+        assert (seq.coords >= 0).all()
+        assert (seq.cell_pos >= 0).all()
+        assert seq.cell_index.max(initial=-1) < len(seq.cell_refs)
+        assert (seq.type_ids >= 0).all() and (seq.type_ids < 14).all()
+        assert set(np.unique(seq.features)) <= {0.0, 1.0}
+        assert n <= serializer.config.max_seq_len
+
+
+@settings(max_examples=25, deadline=None)
+@given(table_idx=st.integers(min_value=0, max_value=11),
+       segment=st.sampled_from(["row", "column"]))
+def test_every_cell_ref_has_tokens(serializer, pool, table_idx, segment):
+    table = pool[table_idx]
+    for seq in serializer.serialize(table, segment):
+        for idx in range(len(seq.cell_refs)):
+            assert seq.tokens_of_cell(idx).size > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(table_idx=st.integers(min_value=0, max_value=11),
+       segment=st.sampled_from(["row", "column", "hmd", "vmd"]))
+def test_visibility_symmetric_reflexive(serializer, pool, table_idx, segment):
+    table = pool[table_idx]
+    for seq in serializer.serialize(table, segment):
+        M = build_visibility(seq)
+        assert (M == M.T).all()
+        assert (np.diag(M) == 1).all()
+        # Every row has at least one visible token (softmax well-defined).
+        assert (M.sum(axis=1) >= 1).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(table_idx=st.integers(min_value=0, max_value=11))
+def test_row_and_column_serializations_agree_on_cells(serializer, pool,
+                                                      table_idx):
+    """Both data serializations cover exactly the table's grid cells."""
+    table = pool[table_idx]
+
+    def covered(segment):
+        cells = set()
+        for seq in serializer.serialize(table, segment):
+            for ref in seq.cell_refs:
+                if ref.kind == "data":
+                    cells.add((ref.row, ref.col))
+        return cells
+
+    grid = {(i, j) for i in range(table.n_rows) for j in range(table.n_cols)
+            if table.data[i][j].text}
+    assert covered("row") == grid
+    assert covered("column") == grid

@@ -1,0 +1,88 @@
+"""Visibility matrix tests — the Section 3.2 semantics."""
+
+import numpy as np
+
+from repro.core import build_visibility, full_visibility, visibility_for
+from repro.tables import figure1_table, table2_relational
+
+
+def find_cell(seq, text):
+    for idx, ref in enumerate(seq.cell_refs):
+        if ref.text == text:
+            return seq.tokens_of_cell(idx)
+    raise AssertionError(f"cell {text!r} not found")
+
+
+class TestDataVisibility:
+    def test_matrix_is_binary_symmetric_with_diagonal(self, serializer):
+        seq = serializer.serialize(table2_relational(), "row")[0]
+        M = build_visibility(seq)
+        assert set(np.unique(M)) <= {0, 1}
+        assert (M == M.T).all()
+        assert (np.diag(M) == 1).all()
+
+    def test_same_row_visible(self, serializer):
+        """'Sam' and 'Engineer' are related because they share a row."""
+        seq = serializer.serialize(table2_relational(), "row")[0]
+        M = build_visibility(seq)
+        sam = find_cell(seq, "Sam")
+        engineer = find_cell(seq, "Engineer")
+        assert M[sam[0], engineer[0]] == 1
+
+    def test_cross_row_cross_column_blocked(self, serializer):
+        """'Sam' should not be related to 'Lawyer' (different row & col)."""
+        seq = serializer.serialize(table2_relational(), "row")[0]
+        M = build_visibility(seq)
+        sam = find_cell(seq, "Sam")
+        lawyer = find_cell(seq, "Lawyer")
+        assert M[sam[0], lawyer[0]] == 0
+
+    def test_same_column_visible(self, serializer):
+        """'Engineer' and 'Lawyer' share the Job column."""
+        seq = serializer.serialize(table2_relational(), "row")[0]
+        M = build_visibility(seq)
+        engineer = find_cell(seq, "Engineer")
+        lawyer = find_cell(seq, "Lawyer")
+        assert M[engineer[0], lawyer[0]] == 1
+
+    def test_cls_sees_everything(self, serializer, tokenizer):
+        seq = serializer.serialize(table2_relational(), "row")[0]
+        M = build_visibility(seq)
+        cls_positions = np.nonzero(seq.token_ids == tokenizer.vocab.cls_id)[0]
+        for p in cls_positions:
+            assert M[p].all() and M[:, p].all()
+
+
+class TestMetadataVisibility:
+    def test_ancestor_descendant_visible(self, serializer):
+        seq = serializer.serialize(figure1_table(), "hmd")[0]
+        M = build_visibility(seq)
+        parent = find_cell(seq, "Efficacy End Point")
+        child = find_cell(seq, "OS")
+        assert M[parent[0], child[0]] == 1
+
+    def test_same_level_visible(self, serializer):
+        seq = serializer.serialize(figure1_table(), "hmd")[0]
+        M = build_visibility(seq)
+        orr = find_cell(seq, "ORR")
+        other = find_cell(seq, "Other Efficacy")
+        assert M[orr[0], other[0]] == 1
+
+
+class TestAblation:
+    def test_full_visibility_is_all_ones(self):
+        M = full_visibility(5)
+        assert M.shape == (5, 5)
+        assert (M == 1).all()
+
+    def test_visibility_for_honours_flag(self, serializer):
+        seq = serializer.serialize(table2_relational(), "row")[0]
+        masked = visibility_for(seq, use_visibility=True)
+        unmasked = visibility_for(seq, use_visibility=False)
+        assert (unmasked == 1).all()
+        assert masked.sum() < unmasked.sum()
+
+    def test_structured_mask_is_sparser_than_full(self, serializer):
+        seq = serializer.serialize(figure1_table(), "row")[0]
+        M = build_visibility(seq)
+        assert 0.0 < M.mean() < 1.0

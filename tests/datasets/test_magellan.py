@@ -1,0 +1,65 @@
+"""Entity-matching pair dataset tests."""
+
+import pytest
+
+from repro.datasets import (
+    entity_pairs_from_corpus,
+    generate_em_dataset,
+    load_dataset,
+    serialize_record,
+)
+
+
+class TestEMDatasets:
+    def test_balanced_labels(self):
+        pairs = generate_em_dataset("amazon-google", n_pairs=50, seed=0)
+        assert len(pairs) == 100
+        assert sum(p.label for p in pairs) == 50
+
+    def test_both_benchmarks_available(self):
+        for name in ("amazon-google", "abt-buy"):
+            pairs = generate_em_dataset(name, n_pairs=10, seed=0)
+            assert len(pairs) == 20
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            generate_em_dataset("walmart-target")
+
+    def test_serialization_format(self):
+        text = serialize_record("sony", "bravia", "televisions", 499.99)
+        assert text.startswith("COL brand VAL sony")
+        assert "COL price VAL 499.99" in text
+
+    def test_positives_share_tokens(self):
+        """A perturbed duplicate keeps most of the record's vocabulary."""
+        pairs = generate_em_dataset("abt-buy", n_pairs=30, seed=1)
+        overlaps = []
+        for p in pairs:
+            a = set(p.left.split())
+            b = set(p.right.split())
+            overlap = len(a & b) / len(a | b)
+            overlaps.append((p.label, overlap))
+        pos = [o for l, o in overlaps if l == 1]
+        neg = [o for l, o in overlaps if l == 0]
+        assert sum(pos) / len(pos) > sum(neg) / len(neg)
+
+    def test_deterministic(self):
+        a = generate_em_dataset("amazon-google", n_pairs=20, seed=3)
+        b = generate_em_dataset("amazon-google", n_pairs=20, seed=3)
+        assert [(p.left, p.label) for p in a] == [(p.left, p.label) for p in b]
+
+
+class TestCorpusPairs:
+    def test_pairs_from_generated_corpus(self):
+        corpus = load_dataset("webtables", n_tables=20, seed=4)
+        pairs = entity_pairs_from_corpus(corpus, n_pairs=30, seed=0)
+        assert len(pairs) == 60
+        assert sum(p.label for p in pairs) == 30
+
+    def test_positive_pairs_share_type(self):
+        corpus = load_dataset("cancerkg", n_tables=20, seed=4)
+        pairs = entity_pairs_from_corpus(corpus, n_pairs=20, seed=0)
+        for p in pairs:
+            type_a = p.left.split("COL type VAL ")[1]
+            type_b = p.right.split("COL type VAL ")[1]
+            assert (type_a == type_b) == bool(p.label)

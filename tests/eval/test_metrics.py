@@ -1,0 +1,108 @@
+"""Metric tests with hand-computed values."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    average_precision_at_k,
+    f1_score,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    precision_recall_f1,
+    reciprocal_rank_at_k,
+)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision_at_k([1, 1, 1], k=20) == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        # Hits at ranks 1 and 3: (1/1 + 2/3) / 2.
+        ap = average_precision_at_k([1, 0, 1], k=20)
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_empty_and_all_miss(self):
+        assert average_precision_at_k([], k=20) == 0.0
+        assert average_precision_at_k([0, 0, 0], k=20) == 0.0
+
+    def test_window_respected(self):
+        # The hit at rank 3 is outside k=2.
+        assert average_precision_at_k([0, 0, 1], k=2) == 0.0
+
+    def test_normalization_by_total_relevant(self):
+        # One hit in the window, but 2 relevant exist overall.
+        ap = average_precision_at_k([1, 0], k=20, n_relevant=2)
+        assert ap == pytest.approx(0.5)
+
+    def test_normalization_capped_by_k(self):
+        # 100 relevant overall but k=2: perfect window gives 1.0.
+        ap = average_precision_at_k([1, 1], k=2, n_relevant=100)
+        assert ap == pytest.approx(1.0)
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank_at_k([1, 0, 0]) == 1.0
+
+    def test_third_position(self):
+        assert reciprocal_rank_at_k([0, 0, 1]) == pytest.approx(1 / 3)
+
+    def test_no_hit(self):
+        assert reciprocal_rank_at_k([0, 0, 0]) == 0.0
+
+    def test_window(self):
+        assert reciprocal_rank_at_k([0, 0, 1], k=2) == 0.0
+
+
+class TestAggregates:
+    def test_map(self):
+        lists = [[1, 1], [0, 1]]
+        expected = (1.0 + 0.5) / 2
+        assert mean_average_precision(lists, k=20) == pytest.approx(expected)
+
+    def test_mrr(self):
+        lists = [[1, 0], [0, 1]]
+        assert mean_reciprocal_rank(lists, k=20) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert mean_average_precision([], 20) == 0.0
+        assert mean_reciprocal_rank([], 20) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.lists(st.booleans(), min_size=1, max_size=30),
+                    min_size=1, max_size=10))
+    def test_metrics_bounded(self, lists):
+        assert 0.0 <= mean_average_precision(lists, 20) <= 1.0
+        assert 0.0 <= mean_reciprocal_rank(lists, 20) <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=20))
+    def test_first_hit_gives_perfect_rr(self, rel):
+        """If the top item is relevant, RR is 1 and bounds AP."""
+        rr = reciprocal_rank_at_k(rel, 20)
+        ap = average_precision_at_k(rel, 20)
+        if rel[0]:
+            assert rr == 1.0
+            assert ap <= rr
+        elif not any(rel[:20]):
+            assert rr == 0.0 and ap == 0.0
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_hand_computed(self):
+        # TP=1, FP=1, FN=1 -> P=R=0.5 -> F1=0.5.
+        p, r, f1 = precision_recall_f1([1, 1, 0], [1, 0, 1])
+        assert (p, r, f1) == (0.5, 0.5, 0.5)
+
+    def test_degenerate(self):
+        assert f1_score([0, 0], [0, 0]) == 0.0
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            f1_score([1], [1, 0])

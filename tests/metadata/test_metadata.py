@@ -1,0 +1,118 @@
+"""Metadata classifier tests: features, bi-GRU/CNN learning, heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.metadata import (
+    MetadataClassifier,
+    NUM_CELL_FEATURES,
+    cell_features,
+    is_metadata_line,
+    label_grid_heuristic,
+    labeled_lines_from_table,
+    line_features,
+    training_set_from_tables,
+)
+from repro.tables import figure1_table, table2_relational
+
+CORPUS = load_dataset("cancerkg", n_tables=16, seed=12)
+
+
+class TestFeatures:
+    def test_cell_feature_dim(self):
+        assert cell_features("20.3 months", 0.0).shape == (NUM_CELL_FEATURES,)
+
+    def test_numeric_flag(self):
+        assert cell_features("42", 0.0)[0] == 1.0
+        assert cell_features("hello", 0.0)[0] == 0.0
+
+    def test_unit_flag(self):
+        assert cell_features("20.3 months", 0.0)[4] == 1.0
+
+    def test_empty_flag(self):
+        assert cell_features("", 0.0)[6] == 1.0
+
+    def test_line_features_shape(self):
+        f = line_features(["a", "b", "c"])
+        assert f.shape == (3, NUM_CELL_FEATURES)
+
+    def test_labeled_lines_balance(self):
+        t = table2_relational()
+        items = labeled_lines_from_table(t)
+        labels = [l for _f, l, _o in items]
+        assert labels.count(1) == 1          # one HMD level
+        assert labels.count(0) == t.n_rows + t.n_cols
+
+    def test_training_set_from_corpus(self):
+        lines, labels = training_set_from_tables(CORPUS[:4])
+        assert len(lines) == len(labels)
+        assert set(labels) == {0, 1}
+
+
+class TestHeuristics:
+    def test_header_line_detected(self):
+        assert is_metadata_line(["Name", "Age", "Job"])
+
+    def test_numeric_line_rejected(self):
+        assert not is_metadata_line(["1", "2", "3"])
+
+    def test_empty_line_rejected(self):
+        assert not is_metadata_line(["", "", ""])
+
+    def test_repeated_values_rejected(self):
+        assert not is_metadata_line(["x", "x", "x", "x"])
+
+    def test_label_grid(self):
+        grid = [
+            ["Name", "Age", "Job"],
+            ["Sam", "28", "Engineer"],
+            ["Alice", "34", "Lawyer"],
+        ]
+        rows, cols = label_grid_heuristic(grid)
+        assert rows == 1
+        assert cols in (0, 1)  # 'Name' column is distinct strings
+
+
+@pytest.mark.parametrize("architecture", ["bigru", "cnn"])
+class TestClassifiers:
+    def test_learns_to_separate(self, architecture):
+        lines, labels = training_set_from_tables(CORPUS)
+        clf = MetadataClassifier(architecture, hidden=12, seed=0)
+        clf.fit(lines, labels, epochs=12, lr=2e-2)
+        assert clf.accuracy(lines, labels) > 0.8
+
+    def test_probabilities_bounded(self, architecture):
+        lines, labels = training_set_from_tables(CORPUS[:3])
+        clf = MetadataClassifier(architecture, hidden=8, seed=0)
+        clf.fit(lines, labels, epochs=2)
+        probs = clf.predict_proba(lines[:5])
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_label_grid_predicts_headers(self, architecture):
+        lines, labels = training_set_from_tables(CORPUS)
+        clf = MetadataClassifier(architecture, hidden=12, seed=0)
+        clf.fit(lines, labels, epochs=12, lr=2e-2)
+        grid = [
+            ["Treatment", "Overall Survival", "Response Rate"],
+            ["chemotherapy", "15.1 months", "34 %"],
+            ["ramucirumab", "20.3 months", "45 %"],
+        ]
+        rows, _cols = clf.label_grid(grid)
+        assert rows == 1
+
+
+class TestClassifierValidation:
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            MetadataClassifier("transformer")
+
+    def test_empty_training_rejected(self):
+        clf = MetadataClassifier("bigru")
+        with pytest.raises(ValueError):
+            clf.fit([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        clf = MetadataClassifier("bigru")
+        with pytest.raises(ValueError):
+            clf.fit([np.zeros((2, NUM_CELL_FEATURES))], [0, 1])

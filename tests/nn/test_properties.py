@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the autograd core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn.tensor import _unbroadcast
+
+finite_floats = st.floats(min_value=-10, max_value=10,
+                          allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_dims=3, max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_softmax_rows_are_distributions(x):
+    out = Tensor(x).softmax(axis=-1).data
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_log_softmax_consistency(x):
+    t = Tensor(x)
+    assert np.allclose(t.log_softmax().data, np.log(t.softmax().data + 1e-300),
+                       atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_addition_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    (t + 1.0).sum().backward()
+    assert np.allclose(t.grad, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), finite_floats)
+def test_scalar_mul_gradient(x, c):
+    t = Tensor(x, requires_grad=True)
+    (t * c).sum().backward()
+    assert np.allclose(t.grad, c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_unbroadcast_conserves_gradient_mass(grad):
+    """Summing a broadcast gradient back must conserve its total."""
+    target_shape = tuple(1 for _ in grad.shape)
+    reduced = _unbroadcast(grad, target_shape)
+    assert reduced.shape == target_shape
+    assert np.allclose(reduced.sum(), grad.sum())
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_then_backward_shapes(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    assert t.grad.shape == x.shape
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_tanh_bounded(x):
+    out = Tensor(x).tanh().data
+    assert np.all(np.abs(out) <= 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_relu_nonnegative_and_idempotent(x):
+    t = Tensor(x)
+    once = t.relu().data
+    twice = Tensor(once).relu().data
+    assert np.all(once >= 0)
+    assert np.allclose(once, twice)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_reshape_roundtrip(x):
+    t = Tensor(x, requires_grad=True)
+    out = t.reshape(-1).reshape(*x.shape)
+    assert np.allclose(out.data, x)
+    out.sum().backward()
+    assert t.grad.shape == x.shape

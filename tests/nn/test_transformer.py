@@ -1,0 +1,70 @@
+"""Transformer encoder stack tests."""
+
+import numpy as np
+
+from repro.nn import Tensor, TransformerEncoder, TransformerEncoderLayer
+
+RNG = np.random.default_rng(3)
+
+
+class TestEncoderLayer:
+    def test_preserves_shape(self):
+        layer = TransformerEncoderLayer(12, 3, 24, rng=np.random.default_rng(0))
+        out = layer(Tensor(RNG.standard_normal((2, 6, 12))))
+        assert out.shape == (2, 6, 12)
+
+    def test_mask_respected_through_residuals(self):
+        layer = TransformerEncoderLayer(8, 2, 16, rng=np.random.default_rng(0))
+        n = 5
+        mask = np.ones((n, n), dtype=np.uint8)
+        mask[:, 4] = 0
+        mask[4, 4] = 1
+        x1 = RNG.standard_normal((1, n, 8))
+        x2 = x1.copy()
+        x2[0, 4] += 5.0
+        out1 = layer(Tensor(x1), mask).data
+        out2 = layer(Tensor(x2), mask).data
+        assert np.allclose(out1[0, :4], out2[0, :4], atol=1e-10)
+
+    def test_deterministic_in_eval(self):
+        layer = TransformerEncoderLayer(8, 2, 16, dropout=0.3,
+                                        rng=np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(RNG.standard_normal((1, 4, 8)))
+        assert np.allclose(layer(x).data, layer(x).data)
+
+    def test_dropout_changes_training_output(self):
+        layer = TransformerEncoderLayer(8, 2, 16, dropout=0.5,
+                                        rng=np.random.default_rng(0))
+        layer.train()
+        x = Tensor(RNG.standard_normal((1, 4, 8)))
+        assert not np.allclose(layer(x).data, layer(x).data)
+
+
+class TestEncoderStack:
+    def test_layer_count(self):
+        enc = TransformerEncoder(3, 8, 2, 16, rng=np.random.default_rng(0))
+        assert len(enc.layers) == 3
+        assert enc.num_layers == 3
+
+    def test_forward_and_backward(self):
+        enc = TransformerEncoder(2, 8, 2, 16, rng=np.random.default_rng(0))
+        x = Tensor(RNG.standard_normal((2, 5, 8)), requires_grad=True)
+        (enc(x) ** 2.0).sum().backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+        for _name, p in enc.named_parameters():
+            assert p.grad is not None
+
+    def test_differs_from_single_layer(self):
+        rng = np.random.default_rng(0)
+        enc1 = TransformerEncoder(1, 8, 2, 16, rng=rng)
+        enc2 = TransformerEncoder(2, 8, 2, 16, rng=rng)
+        x = Tensor(RNG.standard_normal((1, 4, 8)))
+        assert not np.allclose(enc1(x).data, enc2(x).data)
+
+    def test_output_finite_with_mask(self):
+        enc = TransformerEncoder(2, 8, 2, 16, rng=np.random.default_rng(0))
+        mask = np.eye(6, dtype=np.uint8)  # only self-attention
+        out = enc(Tensor(RNG.standard_normal((1, 6, 8))), mask)
+        assert np.isfinite(out.data).all()

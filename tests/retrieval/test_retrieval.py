@@ -1,0 +1,141 @@
+"""Cosine similarity, LSH blocking, and cluster formation tests."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval import (
+    CosineLSH,
+    centroid_ranking,
+    cosine_matrix,
+    cosine_similarity,
+    normalize_rows,
+    rank_neighbors,
+    top_k,
+    top_k_cluster,
+    topic_centroid,
+)
+
+RNG = np.random.default_rng(9)
+
+
+class TestSimilarity:
+    def test_cosine_identity(self):
+        v = RNG.standard_normal(8)
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+        assert cosine_similarity(v, -v) == pytest.approx(-1.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_zero_vector_is_zero_similarity(self):
+        assert cosine_similarity(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_normalize_rows(self):
+        m = RNG.standard_normal((5, 4)) * 10
+        normed = normalize_rows(m)
+        assert np.allclose(np.linalg.norm(normed, axis=1), 1.0)
+        zeros = normalize_rows(np.zeros((2, 3)))
+        assert np.allclose(zeros, 0.0)
+
+    def test_cosine_matrix_shape_and_values(self):
+        a = RNG.standard_normal((3, 6))
+        m = cosine_matrix(a, a)
+        assert m.shape == (3, 3)
+        assert np.allclose(np.diag(m), 1.0)
+
+    def test_top_k_excludes_query(self):
+        items = np.eye(4)
+        result = top_k(items[0], items, k=3, exclude=0)
+        assert 0 not in [i for i, _s in result]
+
+    def test_top_k_orders_by_similarity(self):
+        items = np.array([[1, 0], [0.9, 0.1], [0, 1.0]])
+        result = top_k(np.array([1.0, 0.0]), items, k=3)
+        assert [i for i, _s in result][:2] == [0, 1]
+
+    def test_top_k_caps_at_collection_size(self):
+        items = RNG.standard_normal((3, 4))
+        assert len(top_k(items[0], items, k=10)) == 3
+
+
+class TestLSH:
+    def test_candidates_include_near_duplicates(self):
+        lsh = CosineLSH(dim=16, n_planes=6, n_bands=6, seed=0)
+        base = RNG.standard_normal(16)
+        lsh.add(base)
+        lsh.add(base + RNG.standard_normal(16) * 0.01)
+        lsh.add(-base)
+        candidates = lsh.candidates(base)
+        assert 0 in candidates and 1 in candidates
+
+    def test_query_finds_planted_duplicates(self):
+        """With genuine near-duplicates, LSH top-1 matches brute force.
+
+        (Pure random gaussians have no meaningful neighbours, so this
+        plants a near-copy for each query.)
+        """
+        base = RNG.standard_normal((20, 12))
+        noisy = base + RNG.standard_normal((20, 12)) * 0.05
+        vectors = np.vstack([base, noisy])
+        lsh = CosineLSH(dim=12, n_planes=6, n_bands=8, seed=1)
+        lsh.add_all(vectors)
+        hits = 0
+        for q in range(20):
+            got = lsh.query(vectors[q], k=1, exclude=q)[0][0]
+            want = top_k(vectors[q], vectors, k=1, exclude=q)[0][0]
+            hits += got == want
+        assert hits >= 18  # LSH is approximate; near-duplicates must hit
+
+    def test_fallback_to_bruteforce_when_few_candidates(self):
+        lsh = CosineLSH(dim=8, n_planes=10, n_bands=1, seed=0)
+        vectors = RNG.standard_normal((10, 8))
+        lsh.add_all(vectors)
+        # Even if buckets are tiny, query returns k results.
+        assert len(lsh.query(vectors[0], k=5, exclude=0)) == 5
+
+    def test_dimension_check(self):
+        lsh = CosineLSH(dim=8)
+        with pytest.raises(ValueError):
+            lsh.add(np.ones(5))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CosineLSH(dim=0)
+
+    def test_len(self):
+        lsh = CosineLSH(dim=4)
+        lsh.add_all(RNG.standard_normal((7, 4)))
+        assert len(lsh) == 7
+
+
+class TestClustering:
+    def test_rank_neighbors_without_lsh(self):
+        vectors = np.eye(5)
+        neighbors = rank_neighbors(0, vectors, k=3)
+        assert len(neighbors) == 3
+        assert 0 not in neighbors
+
+    def test_rank_neighbors_with_lsh_matches_top1(self):
+        vectors = RNG.standard_normal((40, 10))
+        lsh = CosineLSH(dim=10, n_planes=5, n_bands=8, seed=2)
+        lsh.add_all(vectors)
+        plain = rank_neighbors(3, vectors, k=1)
+        blocked = rank_neighbors(3, vectors, k=1, lsh=lsh)
+        assert plain[0] == blocked[0]
+
+    def test_top_k_cluster_is_neighbor_list(self):
+        vectors = RNG.standard_normal((10, 4))
+        assert top_k_cluster(2, vectors, k=4) == rank_neighbors(2, vectors, k=4)
+
+    def test_centroid_ranking_prefers_members(self):
+        cluster = RNG.standard_normal(6) * 0.1 + np.array([5, 0, 0, 0, 0, 0])
+        members = np.stack([cluster + RNG.standard_normal(6) * 0.1 for _ in range(4)])
+        outliers = RNG.standard_normal((4, 6)) + np.array([0, 5, 0, 0, 0, 0])
+        vectors = np.vstack([members, outliers])
+        centroid = topic_centroid(vectors, [0, 1])
+        ranked = centroid_ranking(centroid, vectors, k=4)
+        assert set(ranked) == {0, 1, 2, 3}
+
+    def test_topic_centroid_requires_members(self):
+        with pytest.raises(ValueError):
+            topic_centroid(np.eye(3), [])

@@ -1,0 +1,137 @@
+"""Metadata tree and bi-dimensional coordinate tests."""
+
+import pytest
+
+from repro.tables.coordinates import BiCoordinates, CoordinateContext
+from repro.tables.tree import MetadataTree
+
+
+def two_level_tree():
+    # Figure 1 HMD: "Efficacy End Point" spans all 3 columns; leaves below.
+    return MetadataTree([
+        ["Efficacy End Point", None, None],
+        ["ORR", "OS", "Other Efficacy"],
+    ])
+
+
+class TestMetadataTree:
+    def test_depth_and_width(self):
+        tree = two_level_tree()
+        assert tree.depth == 2
+        assert tree.width == 3
+        assert tree.is_hierarchical()
+
+    def test_single_level_not_hierarchical(self):
+        tree = MetadataTree([["a", "b"]])
+        assert not tree.is_hierarchical()
+
+    def test_empty_tree(self):
+        tree = MetadataTree([], width=4)
+        assert tree.depth == 0
+        assert tree.path(2) == []
+        assert tree.leaf_label(0) == ""
+
+    def test_path_labels(self):
+        tree = two_level_tree()
+        assert tree.path_labels(1) == ["Efficacy End Point", "OS"]
+        assert tree.path_labels(2) == ["Efficacy End Point", "Other Efficacy"]
+
+    def test_coordinate_positions(self):
+        tree = two_level_tree()
+        assert tree.coordinate(0) == (0, 0)
+        assert tree.coordinate(1) == (0, 1)
+        assert tree.coordinate(2) == (0, 2)
+
+    def test_two_parents(self):
+        tree = MetadataTree([
+            ["Group A", None, "Group B", None],
+            ["w", "x", "y", "z"],
+        ])
+        assert tree.coordinate(0) == (0, 0)
+        assert tree.coordinate(2) == (1, 2)
+        assert tree.path_labels(3) == ["Group B", "z"]
+
+    def test_spans(self):
+        tree = two_level_tree()
+        root_children = tree.root.children
+        assert len(root_children) == 1
+        assert root_children[0].span == (0, 3)
+        assert [c.span for c in root_children[0].children] == [
+            (0, 1), (1, 2), (2, 3),
+        ]
+
+    def test_qualified_label(self):
+        tree = two_level_tree()
+        assert tree.qualified_label(1) == "Efficacy End Point → OS"
+        assert tree.leaf_label(1) == "OS"
+
+    def test_nodes_breadth_first(self):
+        tree = two_level_tree()
+        labels = [n.label for n in tree.nodes()]
+        assert labels[0] == "Efficacy End Point"
+        assert set(labels[1:]) == {"ORR", "OS", "Other Efficacy"}
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            two_level_tree().path(5)
+
+    def test_ragged_level_raises(self):
+        with pytest.raises(ValueError):
+            MetadataTree([["a", "b"], ["x"]])
+
+    def test_orphan_level_attaches_to_root(self):
+        # A level-2 label outside any level-1 span attaches to the root.
+        tree = MetadataTree([
+            [None, "P", None],
+            ["a", "b", "c"],
+        ])
+        assert tree.path_labels(0) == ["a"]
+        assert tree.path_labels(1) == ["P", "b"]
+
+
+class TestBiCoordinates:
+    def test_defaults(self):
+        c = BiCoordinates()
+        assert not c.is_nested
+        assert c.nested == (0, 0)
+
+    def test_render_with_paths(self):
+        c = BiCoordinates(horizontal=(2, 7), vertical=(1, 3), row=1, col=2)
+        assert c.render() == "(<2,7>;<1,3>)"
+
+    def test_render_cartesian_fallback(self):
+        c = BiCoordinates(row=4, col=2)
+        assert c.render() == "(<2>;<4>)"
+
+    def test_render_nested(self):
+        c = BiCoordinates(nested=(1, 2))
+        assert "@(1, 2)" in c.render()
+        assert c.is_nested
+
+    def test_embedding_indexes_layout(self):
+        c = BiCoordinates(horizontal=(0, 2), vertical=(1,), row=5, col=3,
+                          nested=(1, 2))
+        vr, vc, hr, hc, nr, nc = c.embedding_indexes(clamp=100)
+        assert (vr, vc, hr, hc, nr, nc) == (5, 1, 2, 3, 1, 2)
+
+    def test_embedding_indexes_clamped(self):
+        c = BiCoordinates(row=500, col=600)
+        indexes = c.embedding_indexes(clamp=256)
+        assert max(indexes) <= 255
+
+    def test_relational_reduces_to_cartesian(self):
+        """For a relational table the coordinates are plain (row, col)."""
+        context = CoordinateContext(
+            hmd_coordinate=((0,), (1,), (2,)),
+            vmd_coordinate=((), (), ()),
+        )
+        c = context.for_cell(1, 2)
+        vr, vc, hr, hc, nr, nc = c.embedding_indexes(clamp=10)
+        assert (vr, hc) == (1, 2)
+        assert (nr, nc) == (0, 0)
+
+    def test_context_out_of_range_gives_empty_paths(self):
+        context = CoordinateContext(hmd_coordinate=((0,),),
+                                    vmd_coordinate=((0,),))
+        c = context.for_cell(5, 5)
+        assert c.horizontal == () and c.vertical == ()

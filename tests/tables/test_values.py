@@ -1,0 +1,132 @@
+"""Cell value parsing tests (numbers, units, ranges, gaussians)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tables.values import (
+    GaussianValue,
+    NumberValue,
+    RangeValue,
+    TextValue,
+    parse_value,
+)
+
+
+class TestNumberParsing:
+    def test_plain_integer(self):
+        v = parse_value("118")
+        assert isinstance(v, NumberValue)
+        assert v.value == 118.0 and v.unit is None
+
+    def test_decimal(self):
+        v = parse_value("20.3")
+        assert isinstance(v, NumberValue) and v.value == pytest.approx(20.3)
+
+    def test_negative(self):
+        v = parse_value("-5.5")
+        assert isinstance(v, NumberValue) and v.value == -5.5
+
+    def test_number_with_unit(self):
+        v = parse_value("20.3 months")
+        assert isinstance(v, NumberValue)
+        assert v.unit == "months" and v.category == "time"
+
+    def test_percent(self):
+        v = parse_value("45 %")
+        assert isinstance(v, NumberValue) and v.category == "stats"
+
+    def test_unknown_unit_degrades_to_text(self):
+        assert isinstance(parse_value("20.3 zorks"), TextValue)
+
+    def test_render(self):
+        assert parse_value("20.3 months").render() == "20.3 months"
+        assert parse_value("118").render() == "118"
+
+
+class TestRangeParsing:
+    def test_dash_range(self):
+        v = parse_value("20-30")
+        assert isinstance(v, RangeValue)
+        assert (v.start, v.end) == (20.0, 30.0)
+        assert v.width == 10.0
+
+    def test_to_range(self):
+        v = parse_value("20 to 30")
+        assert isinstance(v, RangeValue)
+
+    def test_range_with_unit(self):
+        v = parse_value("20-30 year")
+        assert isinstance(v, RangeValue)
+        assert v.unit == "year" and v.category == "time"
+
+    def test_en_dash(self):
+        v = parse_value("20\N{EN DASH}30")
+        assert isinstance(v, RangeValue)
+
+    def test_reversed_bounds_not_a_range(self):
+        assert not isinstance(parse_value("30-20"), RangeValue)
+
+    def test_render(self):
+        assert parse_value("20-30 year").render() == "20-30 year"
+
+
+class TestGaussianParsing:
+    def test_plus_minus_sign(self):
+        v = parse_value("12.3 \N{PLUS-MINUS SIGN} 4.5")
+        assert isinstance(v, GaussianValue)
+        assert (v.mean, v.std) == (12.3, 4.5)
+
+    def test_ascii_plus_minus(self):
+        v = parse_value("12.3 +/- 4.5")
+        assert isinstance(v, GaussianValue)
+
+    def test_gaussian_with_unit(self):
+        v = parse_value("12.3 \N{PLUS-MINUS SIGN} 4.5 mg")
+        assert isinstance(v, GaussianValue)
+        assert v.category == "weight"
+
+    def test_gaussian_beats_range_and_number(self):
+        assert isinstance(parse_value("1 +/- 2"), GaussianValue)
+
+
+class TestTextParsing:
+    def test_plain_text(self):
+        v = parse_value("colon")
+        assert isinstance(v, TextValue) and v.text == "colon"
+
+    def test_empty(self):
+        assert parse_value("   ").render() == ""
+
+    def test_mixed_alpha_numeric_is_text(self):
+        assert isinstance(parse_value("covid-19 wave"), TextValue)
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=1e6, allow_nan=False))
+    def test_number_roundtrip(self, x):
+        rendered = NumberValue(round(x, 3)).render()
+        parsed = parse_value(rendered)
+        assert isinstance(parsed, NumberValue)
+        assert parsed.value == pytest.approx(round(x, 3), rel=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=0, max_value=1000, allow_nan=False),
+           st.floats(min_value=0, max_value=1000, allow_nan=False))
+    def test_range_roundtrip(self, a, b):
+        lo, hi = sorted([round(a, 2), round(b, 2)])
+        rendered = RangeValue(lo, hi).render()
+        parsed = parse_value(rendered)
+        assert isinstance(parsed, RangeValue)
+        assert parsed.start == pytest.approx(lo)
+        assert parsed.end == pytest.approx(hi)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(["months", "mg", "%", "cm", "ml", "mmhg"]),
+           st.floats(min_value=0.1, max_value=99, allow_nan=False))
+    def test_units_survive_roundtrip(self, unit, x):
+        rendered = f"{round(x, 1)} {unit}"
+        parsed = parse_value(rendered)
+        assert isinstance(parsed, NumberValue)
+        assert parsed.unit == unit

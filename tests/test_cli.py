@@ -1,0 +1,64 @@
+"""CLI tests (stats / train / evaluate / encode subcommands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "imaginary"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["train", "cancerkg"])
+        assert args.steps == 80 and args.out is None
+
+
+class TestStats:
+    def test_prints_statistics(self, capsys):
+        assert main(["stats", "webtables", "--n-tables", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Corpus statistics: webtables" in out
+        assert "avg rows" in out and "non-relational" in out
+
+
+class TestTrainEvaluate:
+    def test_train_and_save(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        code = main(["train", "cancerkg", "--n-tables", "6", "--steps", "2",
+                     "--vocab-size", "300", "--out", str(ckpt)])
+        assert code == 0
+        assert (ckpt / "vocab.json").exists()
+        assert (ckpt / "row.npz").exists()
+        out = capsys.readouterr().out
+        assert "Saved checkpoint" in out
+
+    def test_evaluate_from_checkpoint(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        main(["train", "cancerkg", "--n-tables", "8", "--steps", "2",
+              "--vocab-size", "300", "--out", str(ckpt)])
+        capsys.readouterr()
+        code = main(["evaluate", "cancerkg", "--n-tables", "8",
+                     "--model", str(ckpt), "--max-queries", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Column Clustering" in out and "Table Clustering" in out
+
+
+class TestEncode:
+    def test_encodes_table(self, capsys):
+        code = main(["encode", "cancerkg", "--n-tables", "4", "--table", "0",
+                     "--limit", "10", "--vocab-size", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[CLS]" in out
+        assert "coords" in out
+
+    def test_bad_table_index(self, capsys):
+        code = main(["encode", "cancerkg", "--n-tables", "4", "--table", "99"])
+        assert code == 2

@@ -1,0 +1,121 @@
+"""Failure-injection tests: corrupt inputs, adversarial tables, bad state."""
+
+import numpy as np
+import pytest
+
+from repro.core import TabBiNConfig, TabBiNEmbedder
+from repro.nn import Linear, Sequential, load_checkpoint, save_checkpoint
+from repro.tables import Table, parse_value
+from repro.tables.values import TextValue
+
+
+class TestAdversarialTables:
+    """The embedder must survive hostile-but-valid table content."""
+
+    @pytest.fixture(scope="class")
+    def embedder(self):
+        weird = [
+            Table("empty cells", [["a", "b"]],
+                  [["", ""], ["x", ""]], topic="weird"),
+            Table("unicode", [["col"]],
+                  [["naïve café 中文 ☃"], ["±∞µ"]], topic="weird"),
+            Table("huge cell", [["col"]],
+                  [[" ".join(f"tok{i}" for i in range(500))]], topic="weird"),
+            Table("numeric soup", [["n"]],
+                  [["1e308"], ["-0.0"], ["999999999999999"]], topic="weird"),
+            Table("whitespace", [["  a  "]], [["   "]], topic="weird"),
+        ]
+        emb, _ = TabBiNEmbedder.build(weird * 2, config=TabBiNConfig.tiny(),
+                                      steps=3, vocab_size=300, seed=0)
+        return emb, weird
+
+    def test_embeddings_stay_finite(self, embedder):
+        emb, weird = embedder
+        for table in weird:
+            vec = emb.table_embedding(table, variant="tblcomp1")
+            assert np.isfinite(vec).all(), table.caption
+            for j in range(table.n_cols):
+                assert np.isfinite(emb.column_embedding(table, j)).all()
+
+    def test_empty_string_entity(self, embedder):
+        emb, _ = embedder
+        vec = emb.entity_embedding("")
+        assert vec.shape == (emb.hidden,)
+        assert np.isfinite(vec).all()
+
+    def test_huge_cell_respects_token_cap(self, embedder):
+        emb, weird = embedder
+        seq = emb.serializer.serialize(weird[2], "row")[0]
+        assert seq.tokens_of_cell(0).size <= emb.config.max_cell_tokens
+
+
+class TestValueParsingEdgeCases:
+    @pytest.mark.parametrize("text", [
+        "-", "--", ".", "..", "+-", "1-", "-1-", "1.2.3", "1e", "e5",
+        "± 4", "1 ±", "%", "% 5",
+    ])
+    def test_malformed_numerics_degrade_to_text(self, text):
+        value = parse_value(text)
+        # Must not crash; anything unparseable is text.
+        assert value.render() is not None
+
+    def test_extreme_magnitudes(self):
+        from repro.core.numeric_features import numeric_features
+
+        for x in (1e300, 1e-300, -1e300, 0.0):
+            mag, pre, fst, lst = numeric_features(x)
+            assert 1 <= mag <= 10 and 1 <= pre <= 10
+
+    def test_whitespace_only(self):
+        assert isinstance(parse_value(" \t "), TextValue)
+
+
+class TestCorruptCheckpoints:
+    def test_truncated_file_raises_cleanly(self, tmp_path):
+        model = Sequential(Linear(3, 3))
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(Exception):
+            load_checkpoint(Sequential(Linear(3, 3)), path)
+
+    def test_garbage_file_raises_cleanly(self, tmp_path):
+        path = tmp_path / "model.npz"
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(Exception):
+            load_checkpoint(Sequential(Linear(3, 3)), path)
+
+    def test_embedder_load_missing_segment(self, tmp_path):
+        corpus = [Table("t", [["a", "b"]], [["x", "1"], ["y", "2"]],
+                        topic="t")]
+        emb, _ = TabBiNEmbedder.build(corpus, config=TabBiNConfig.tiny(),
+                                      steps=1, vocab_size=200, seed=0)
+        emb.save(tmp_path / "ckpt")
+        (tmp_path / "ckpt" / "vmd.npz").unlink()
+        with pytest.raises(FileNotFoundError):
+            TabBiNEmbedder.load(tmp_path / "ckpt", TabBiNConfig.tiny())
+
+
+class TestNaNRobustness:
+    def test_layernorm_constant_input(self):
+        """Zero-variance rows must not divide by zero."""
+        from repro.nn import LayerNorm, Tensor
+
+        norm = LayerNorm(8)
+        out = norm(Tensor(np.full((2, 8), 3.0)))
+        assert np.isfinite(out.data).all()
+
+    def test_softmax_all_masked_but_self(self):
+        from repro.nn import MultiHeadSelfAttention, Tensor
+
+        attn = MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(0))
+        mask = np.eye(4, dtype=np.uint8)
+        out = attn(Tensor(np.random.default_rng(0).standard_normal((1, 4, 8))),
+                   mask)
+        assert np.isfinite(out.data).all()
+
+    def test_cosine_with_nan_free_zero_vectors(self):
+        from repro.retrieval import cosine_matrix
+
+        m = cosine_matrix(np.zeros((2, 4)), np.ones((3, 4)))
+        assert np.isfinite(m).all()
