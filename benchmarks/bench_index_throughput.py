@@ -1,0 +1,112 @@
+"""Corpus indexing throughput: per-table vs batched encoding.
+
+Measures tables/sec for a full four-segment corpus encode through
+:class:`~repro.index.store.EmbeddingStore` in two modes:
+
+- ``per-table`` — the seed repo's lazy ``_pooled`` path, replicated
+  exactly: serialize one table, run one ``encode_pooled`` forward per
+  (table, segment) padded to that table's longest sequence;
+- ``batch=N`` — one corpus-wide call with sequences of *all* tables
+  pooled into length-sorted batches of N.
+
+Results are written to ``results/BENCH_index_throughput.json`` in the
+shared ``BENCH_*.json`` tracking shape (benchmark name, config, one
+record per mode) so successive runs can be diffed.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_index_throughput.py``)
+or via the smoke test in ``tests/index/test_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core import TabBiNConfig, TabBiNEmbedder
+from repro.datasets import load_dataset
+from repro.eval import ResultsTable, results_dir
+
+BATCH_SIZES = (1, 8, 32)
+
+
+def build_embedder(tables, steps: int = 0, vocab_size: int = 500,
+                   seed: int = 0) -> TabBiNEmbedder:
+    """An embedder sized for throughput runs (pre-training depth does not
+    affect inference cost, so ``steps`` defaults to 0)."""
+    embedder, _stats = TabBiNEmbedder.build(
+        tables, config=TabBiNConfig.small(), steps=steps,
+        vocab_size=vocab_size, seed=seed,
+    )
+    return embedder
+
+
+def measure(embedder: TabBiNEmbedder, tables, batch_size: int | None,
+            repeats: int = 1) -> dict:
+    """Seconds / tables-per-sec for one full-corpus encode.
+
+    ``batch_size=None`` selects the per-table mode; the cache is cleared
+    before every repetition so each run encodes from scratch.  The best
+    of ``repeats`` runs is reported (standard practice for wall-clock
+    microbenchmarks).
+    """
+    from repro.core.config import SEGMENTS
+
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        embedder.clear_cache()
+        start = time.perf_counter()
+        if batch_size is None:
+            for table in tables:
+                for segment in SEGMENTS:
+                    sequences = embedder.serializer.serialize(table, segment)
+                    if sequences:
+                        embedder.models[segment].encode_pooled(sequences)
+        else:
+            embedder.store.encode_corpus(tables, batch_size=batch_size)
+        best = min(best, time.perf_counter() - start)
+    mode = "per-table" if batch_size is None else f"batch={batch_size}"
+    return {"mode": mode, "batch_size": batch_size, "seconds": best,
+            "tables_per_sec": len(tables) / best if best > 0 else float("inf")}
+
+
+def run(n_tables: int = 16, steps: int = 0, vocab_size: int = 500,
+        seed: int = 0, batch_sizes: tuple[int, ...] = BATCH_SIZES,
+        repeats: int = 2, dataset: str = "cancerkg") -> dict:
+    """Full benchmark: per-table baseline plus each batched size."""
+    tables = load_dataset(dataset, n_tables=n_tables, seed=seed)
+    embedder = build_embedder(tables, steps=steps, vocab_size=vocab_size,
+                              seed=seed)
+    results = [measure(embedder, tables, None, repeats=repeats)]
+    for size in batch_sizes:
+        results.append(measure(embedder, tables, size, repeats=repeats))
+    return {
+        "benchmark": "index_throughput",
+        "config": {"dataset": dataset, "n_tables": n_tables,
+                   "hidden": embedder.hidden, "vocab_size": vocab_size,
+                   "repeats": repeats},
+        "results": results,
+    }
+
+
+def render(report: dict) -> ResultsTable:
+    config = report["config"]
+    out = ResultsTable(
+        f"Index throughput: {config['n_tables']} {config['dataset']} tables, "
+        f"H={config['hidden']}", columns=["seconds", "tables/sec"])
+    for record in report["results"]:
+        out.add(record["mode"], "seconds", f"{record['seconds']:.2f}")
+        out.add(record["mode"], "tables/sec", f"{record['tables_per_sec']:.2f}")
+    return out
+
+
+def main() -> int:
+    report = run()
+    render(report).show()
+    path = results_dir() / "BENCH_index_throughput.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"Wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,12 @@ Subcommands::
     python -m repro.cli evaluate <dataset> [--model DIR]   run CC/TC/EC
     python -m repro.cli encode   <dataset> --table N       show Figure-3 style
                                                            token encoding
+    python -m repro.cli index build <dataset> --out DIR    batch-encode the
+                                                           corpus into table +
+                                                           column indexes
+    python -m repro.cli index query <dataset> --index DIR  top-k neighbours of
+                                                           a table (or one of
+                                                           its columns)
 
 Datasets are the five generated corpora (webtables, covidkg, cancerkg,
 saus, cius); all runs are seeded and CPU-sized.
@@ -72,15 +78,7 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     tables = load_dataset(args.dataset, n_tables=args.n_tables, seed=args.seed)
-    if args.model:
-        print(f"Loading checkpoint from {args.model} ...")
-        embedder = TabBiNEmbedder.load(args.model, TabBiNConfig.small())
-    else:
-        print(f"No checkpoint given; pre-training {args.steps} steps ...")
-        embedder, _ = TabBiNEmbedder.build(
-            tables, config=TabBiNConfig.small(), steps=args.steps,
-            vocab_size=args.vocab_size, seed=args.seed,
-        )
+    embedder = _load_or_train(args, tables)
     out = ResultsTable(f"TabBiN on {args.dataset} (MAP/MRR@{args.k})",
                        columns=["result", "queries"])
     cc = column_clustering(tables, embedder.column_embedding,
@@ -128,6 +126,103 @@ def cmd_encode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_or_train(args: argparse.Namespace, tables) -> TabBiNEmbedder:
+    if args.model:
+        print(f"Loading checkpoint from {args.model} ...")
+        return TabBiNEmbedder.load(args.model, TabBiNConfig.small())
+    print(f"No checkpoint given; pre-training {args.steps} steps ...")
+    embedder, _ = TabBiNEmbedder.build(
+        tables, config=TabBiNConfig.small(), steps=args.steps,
+        vocab_size=args.vocab_size, seed=args.seed,
+    )
+    return embedder
+
+
+def cmd_index_build(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .index import ColumnIndex, TableIndex
+
+    tables = load_dataset(args.dataset, n_tables=args.n_tables, seed=args.seed)
+    if not tables:
+        print("cannot build an index over an empty corpus "
+              "(--n-tables must be positive)", file=sys.stderr)
+        return 2
+    embedder = _load_or_train(args, tables)
+    out = Path(args.out)
+    embedder.save(out / "model")
+    print(f"Batch-encoding {len(tables)} tables "
+          f"(batch size {args.batch_size}) ...")
+    corpus_id = {"dataset": args.dataset, "n_tables": args.n_tables,
+                 "seed": args.seed}
+    table_index = TableIndex.build(embedder, tables, variant=args.variant,
+                                   seed=args.seed, batch_size=args.batch_size)
+    column_index = ColumnIndex.build(embedder, tables, seed=args.seed,
+                                     batch_size=args.batch_size)
+    table_index.corpus = dict(corpus_id)
+    column_index.corpus = dict(corpus_id)
+    table_index.save(out / "tables.npz")
+    column_index.save(out / "columns.npz")
+    stats = embedder.store.stats
+    summary = ResultsTable(f"Index built: {args.dataset}", columns=["value"])
+    summary.add("tables indexed", "value", len(table_index))
+    summary.add("columns indexed", "value", len(column_index))
+    summary.add("encoder batches", "value", stats.batches)
+    summary.add("sequences encoded", "value", stats.sequences_encoded)
+    summary.show()
+    print(f"Saved model + indexes to {out}")
+    return 0
+
+
+def cmd_index_query(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .index import ColumnIndex, TableIndex
+
+    tables = load_dataset(args.dataset, n_tables=args.n_tables, seed=args.seed)
+    if not 0 <= args.table < len(tables):
+        print(f"--table must be in [0, {len(tables)})", file=sys.stderr)
+        return 2
+    table = tables[args.table]
+    if args.column is not None and not 0 <= args.column < table.n_cols:
+        print(f"--column must be in [0, {table.n_cols})", file=sys.stderr)
+        return 2
+    index_dir = Path(args.index)
+    try:
+        embedder = TabBiNEmbedder.load(index_dir / "model", TabBiNConfig.small())
+        if args.column is not None:
+            index = ColumnIndex.load(index_dir / "columns.npz")
+        else:
+            index = TableIndex.load(index_dir / "tables.npz")
+    except FileNotFoundError:
+        print(f"no index at {index_dir} (run `index build ... --out "
+              f"{index_dir}` first)", file=sys.stderr)
+        return 2
+    built_from = index.corpus
+    asked = {"dataset": args.dataset, "n_tables": args.n_tables,
+             "seed": args.seed}
+    if built_from and built_from != asked:
+        # Generated corpora are not prefix-stable, so a different
+        # dataset/n-tables/seed names different tables entirely.
+        print(f"index was built from {built_from}, not {asked}; rerun with "
+              f"matching corpus arguments (or rebuild)", file=sys.stderr)
+        return 2
+    if args.column is not None:
+        hits = index.query_column(embedder, table, args.column, k=args.k)
+        title = (f"Columns similar to {table.caption!r} "
+                 f"[{table.column_label(args.column)}]")
+        label = lambda hit: f"{hit.meta.get('caption')} [{hit.meta.get('label')}]"
+    else:
+        hits = index.query_table(embedder, table, k=args.k)
+        title = f"Tables similar to {table.caption!r}"
+        label = lambda hit: str(hit.meta.get("caption"))
+    out = ResultsTable(title, columns=["score"])
+    for hit in hits:
+        out.add(label(hit), "score", f"{hit.score:.3f}")
+    out.show()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -163,6 +258,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_encode.add_argument("--limit", type=int, default=40)
     p_encode.add_argument("--vocab-size", type=int, default=500)
     p_encode.set_defaults(func=cmd_encode)
+
+    p_index = sub.add_parser("index", help="corpus indexing")
+    index_sub = p_index.add_subparsers(dest="index_command", required=True)
+
+    p_build = index_sub.add_parser("build", help="batch-encode a corpus into "
+                                                 "table + column indexes")
+    _add_common(p_build)
+    p_build.add_argument("--out", required=True, help="index directory")
+    p_build.add_argument("--model", default=None, help="checkpoint directory")
+    p_build.add_argument("--steps", type=int, default=80)
+    p_build.add_argument("--vocab-size", type=int, default=700)
+    p_build.add_argument("--variant", default="tblcomp1",
+                         choices=("row", "tblcomp1"),
+                         help="table embedding composition")
+    p_build.add_argument("--batch-size", type=int, default=32,
+                         help="sequences per encoder forward")
+    p_build.set_defaults(func=cmd_index_build)
+
+    p_query = index_sub.add_parser("query", help="top-k neighbours from a "
+                                                 "built index")
+    _add_common(p_query)
+    p_query.add_argument("--index", required=True, help="index directory "
+                                                        "(from `index build`)")
+    p_query.add_argument("--table", type=int, default=0,
+                         help="query table position in the corpus")
+    p_query.add_argument("--column", type=int, default=None,
+                         help="query this column instead of the whole table")
+    p_query.add_argument("--k", type=int, default=5)
+    p_query.set_defaults(func=cmd_index_query)
     return parser
 
 

@@ -50,7 +50,7 @@ class TabBiNEmbedder:
                  type_inference: TypeInference,
                  config: TabBiNConfig,
                  models: dict[str, TabBiNModel],
-                 caption_encoder=None):
+                 caption_encoder=None, store=None):
         missing = set(SEGMENTS) - set(models)
         if missing:
             raise ValueError(f"missing segment models: {sorted(missing)}")
@@ -60,7 +60,11 @@ class TabBiNEmbedder:
         self.models = models
         self.caption_encoder = caption_encoder
         self.serializer = TabBiNSerializer(tokenizer, type_inference, config)
-        self._pool_cache: dict[tuple[int, str], list] = {}
+        if store is None:
+            from ..index.store import EmbeddingStore
+
+            store = EmbeddingStore(self.serializer, self.models)
+        self.store = store
 
     # ------------------------------------------------------------------
     # Construction
@@ -104,26 +108,27 @@ class TabBiNEmbedder:
         return embedder, stats
 
     # ------------------------------------------------------------------
-    # Pooled segment vectors (cached per table)
+    # Pooled segment vectors (cached per table *content*, not identity —
+    # an id(table) key could alias a GC'd table's reused id)
     # ------------------------------------------------------------------
     def _pooled(self, table: Table, segment: str) -> list[tuple]:
         """(CellRef, vector) pairs for a table under one segment model."""
-        key = (id(table), segment)
-        cached = self._pool_cache.get(key)
-        if cached is not None:
-            return cached
-        sequences = self.serializer.serialize(table, segment)
-        out: list[tuple] = []
-        if sequences:
-            pooled = self.models[segment].encode_pooled(sequences)
-            for seq, mapping in zip(sequences, pooled):
-                for idx, vector in mapping.items():
-                    out.append((seq.cell_refs[idx], vector))
-        self._pool_cache[key] = out
-        return out
+        return self.store.pooled(table, segment)
+
+    def precompute(self, corpus: list[Table],
+                   batch_size: int | None = None) -> int:
+        """Batch-encode a whole corpus through all four segment models.
+
+        Sequences are grouped across tables into fixed-size padded
+        batches (see :class:`~repro.index.store.EmbeddingStore`), which
+        is substantially faster than the per-table lazy path when
+        embedding many tables.  Returns the number of newly encoded
+        (table, segment) entries.
+        """
+        return self.store.encode_corpus(corpus, batch_size=batch_size)
 
     def clear_cache(self) -> None:
-        self._pool_cache.clear()
+        self.store.clear()
 
     @property
     def hidden(self) -> int:

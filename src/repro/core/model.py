@@ -106,7 +106,10 @@ class TabBiNModel(Module):
         Returns, per sequence, a dict mapping the sequence's
         ``cell_refs`` index to its pooled vector (numpy, shape ``(H,)``).
         Used at inference time to derive cell / column / metadata / table
-        embeddings.
+        embeddings.  One call is one forward padded to the longest
+        sequence — corpus-scale callers should chunk through
+        :class:`~repro.index.store.EmbeddingStore`, which batches by
+        length so padding (and the ``(B, n, n)`` masks) stay small.
         """
         was_training = self.training
         self.eval()

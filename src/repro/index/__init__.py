@@ -1,0 +1,19 @@
+"""Corpus indexing: batched embedding store + persistent LSH indexes.
+
+The scaling path for the paper's retrieval tasks (Section 4 embeds
+hundreds of thousands of columns): :func:`table_fingerprint` gives
+tables stable content-addressed identities, :class:`EmbeddingStore`
+batch-encodes whole corpora through the four segment models, and
+:class:`TableIndex` / :class:`ColumnIndex` persist composite embeddings
+behind cosine LSH for sub-quadratic search.
+"""
+
+from .fingerprint import table_fingerprint
+from .index import ColumnIndex, SearchHit, TableIndex, VectorIndex, load_index
+from .store import DEFAULT_BATCH_SIZE, EmbeddingStore, StoreStats
+
+__all__ = [
+    "table_fingerprint",
+    "EmbeddingStore", "StoreStats", "DEFAULT_BATCH_SIZE",
+    "VectorIndex", "TableIndex", "ColumnIndex", "SearchHit", "load_index",
+]

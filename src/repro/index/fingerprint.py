@@ -1,0 +1,40 @@
+"""Stable content fingerprints for tables.
+
+The embedder's pooled-vector cache was originally keyed by ``id(table)``.
+CPython reuses object ids after garbage collection, so a long-lived cache
+could silently return another table's vectors — and two distinct ``Table``
+objects with identical content could never share an entry.  A fingerprint
+derived from the table's *content* (cells, metadata, caption, nesting)
+fixes both: it survives GC, is shared by equal tables, and is stable
+across processes, which lets indexes built in one run be queried in
+another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..tables.table import Table
+
+#: Attribute used to memoize the fingerprint on the table instance
+#: (tables are immutable after construction, so one hash per object).
+_CACHE_ATTR = "_content_fingerprint"
+
+
+def table_fingerprint(table: Table) -> str:
+    """Hex digest identifying a table by content, not object identity.
+
+    Covers everything :meth:`Table.to_dict` serializes: caption, topic,
+    source, both metadata trees, gold concepts, cell texts / entity types
+    and nested tables, recursively.  Equal-content tables get equal
+    fingerprints; any content difference changes the digest.
+    """
+    cached = getattr(table, _CACHE_ATTR, None)
+    if cached is not None:
+        return cached
+    payload = json.dumps(table.to_dict(), sort_keys=True, ensure_ascii=False,
+                         separators=(",", ":"))
+    digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+    setattr(table, _CACHE_ATTR, digest)
+    return digest

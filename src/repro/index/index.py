@@ -1,0 +1,270 @@
+"""Persistent LSH-backed vector indexes over tables and columns.
+
+A :class:`VectorIndex` owns a :class:`~repro.retrieval.lsh.CosineLSH`
+plus the external keys (table fingerprints, ``fingerprint:col`` pairs)
+and display metadata for every vector.  :class:`TableIndex` and
+:class:`ColumnIndex` specialize it with the paper's composite embeddings
+(tblcomp / colcomp, Figure 5) and corpus ``build`` constructors that go
+through the batched :class:`~repro.index.store.EmbeddingStore` path.
+
+Indexes round-trip to a single ``.npz`` file: the vector matrix is
+stored as an array, everything else (keys, metadata, LSH and embedding
+parameters) as a JSON blob.  Loading re-derives the LSH buckets with one
+vectorized ``add_all`` — the hyperplanes are seeded, so buckets are
+bit-identical across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..retrieval.lsh import CosineLSH
+from ..tables.table import Table
+from .fingerprint import table_fingerprint
+
+_PAYLOAD_KEY = "__index__"
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked neighbour: external key, cosine score, display metadata."""
+
+    key: str
+    score: float
+    meta: dict
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SearchHit({self.key!r}, {self.score:.3f}, {self.meta})"
+
+
+class VectorIndex:
+    """Keyed cosine-LSH index with ``.npz`` persistence."""
+
+    kind = "vector"
+
+    def __init__(self, dim: int, n_planes: int = 8, n_bands: int = 4,
+                 seed: int = 0):
+        self.dim = dim
+        self.n_planes = n_planes
+        self.n_bands = n_bands
+        self.seed = seed
+        self.lsh = CosineLSH(dim, n_planes=n_planes, n_bands=n_bands, seed=seed)
+        self.keys: list[str] = []
+        self.meta: list[dict] = []
+        self._id_of: dict[str, int] = {}
+        #: Free-form provenance (e.g. dataset/n_tables/seed) persisted
+        #: with the index so queries can check they target the same
+        #: corpus the index was built from.
+        self.corpus: dict = {}
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add(self, key: str, vector: np.ndarray, meta: dict | None = None) -> int:
+        """Index one vector under ``key``; duplicate keys are no-ops
+        (equal-content tables share a fingerprint and one entry)."""
+        existing = self._id_of.get(key)
+        if existing is not None:
+            return existing
+        idx = self.lsh.add(vector)
+        self.keys.append(key)
+        self.meta.append(meta or {})
+        self._id_of[key] = idx
+        return idx
+
+    def add_batch(self, keys: list[str], vectors: np.ndarray,
+                  metas: list[dict] | None = None) -> list[int]:
+        """Bulk insert distinct keys with one vectorized LSH pass."""
+        if metas is None:
+            metas = [{} for _ in keys]
+        if not (len(keys) == len(vectors) == len(metas)):
+            raise ValueError("keys, vectors and metas must align")
+        fresh: list[int] = []
+        batch_seen: set[str] = set()
+        for i, key in enumerate(keys):
+            if key not in self._id_of and key not in batch_seen:
+                batch_seen.add(key)
+                fresh.append(i)
+        if fresh:
+            ids = self.lsh.add_all(np.asarray(vectors, float)[fresh])
+            for i, idx in zip(fresh, ids):
+                self.keys.append(keys[i])
+                self.meta.append(metas[i])
+                self._id_of[keys[i]] = idx
+        return [self._id_of[key] for key in keys]
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._id_of
+
+    def vector(self, key: str) -> np.ndarray:
+        return self.lsh.vector(self._id_of[key])
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query_vector(self, vector: np.ndarray, k: int = 10,
+                     exclude: str | None = None) -> list[SearchHit]:
+        """Top-k neighbours of ``vector``; ``exclude`` drops one key
+        (typically the query's own fingerprint)."""
+        exclude_id = self._id_of.get(exclude) if exclude is not None else None
+        ranked = self.lsh.query(vector, k, exclude=exclude_id)
+        return [SearchHit(self.keys[i], score, self.meta[i])
+                for i, score in ranked]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _params(self) -> dict:
+        return {"kind": self.kind, "dim": self.dim, "n_planes": self.n_planes,
+                "n_bands": self.n_bands, "seed": self.seed,
+                "corpus": self.corpus}
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"params": self._params(), "keys": self.keys,
+                              "meta": self.meta})
+        np.savez(path, vectors=self.lsh.vectors(),
+                 **{_PAYLOAD_KEY: np.frombuffer(payload.encode("utf-8"),
+                                                dtype=np.uint8)})
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def _from_payload(cls, params: dict, keys: list[str], meta: list[dict],
+                      vectors: np.ndarray) -> "VectorIndex":
+        index = cls(params["dim"], n_planes=params["n_planes"],
+                    n_bands=params["n_bands"], seed=params["seed"])
+        index.corpus = params.get("corpus", {})
+        index._restore_extra(params)
+        if len(keys):
+            ids = index.lsh.add_all(vectors)
+            index.keys = list(keys)
+            index.meta = list(meta)
+            index._id_of = dict(zip(keys, ids))
+        return index
+
+    def _restore_extra(self, params: dict) -> None:
+        """Hook for subclasses to restore extra saved parameters."""
+
+    @classmethod
+    def load(cls, path: str | Path) -> "VectorIndex":
+        path = Path(path)
+        if not path.exists() and path.with_suffix(".npz").exists():
+            path = path.with_suffix(".npz")
+        with np.load(path) as archive:
+            payload = json.loads(bytes(archive[_PAYLOAD_KEY]).decode("utf-8"))
+            vectors = archive["vectors"]
+        params = payload["params"]
+        target = _KINDS.get(params.get("kind"), cls)
+        if cls is not VectorIndex and target is not cls:
+            raise ValueError(f"{path} holds a {params.get('kind')!r} index, "
+                             f"not {cls.kind!r}")
+        return target._from_payload(params, payload["keys"], payload["meta"],
+                                    vectors)
+
+
+def load_index(path: str | Path) -> VectorIndex:
+    """Load any saved index, dispatching on its stored ``kind``."""
+    return VectorIndex.load(path)
+
+
+class TableIndex(VectorIndex):
+    """Whole-table retrieval over composite table embeddings."""
+
+    kind = "table"
+
+    def __init__(self, dim: int, variant: str = "tblcomp1", **kwargs):
+        super().__init__(dim, **kwargs)
+        self.variant = variant
+
+    def _params(self) -> dict:
+        return {**super()._params(), "variant": self.variant}
+
+    def _restore_extra(self, params: dict) -> None:
+        self.variant = params.get("variant", "tblcomp1")
+
+    @staticmethod
+    def table_meta(table: Table) -> dict:
+        return {"caption": table.caption, "topic": table.topic,
+                "shape": list(table.shape)}
+
+    @classmethod
+    def build(cls, embedder, tables: list[Table], variant: str = "tblcomp1",
+              n_planes: int = 8, n_bands: int = 4, seed: int = 0,
+              batch_size: int | None = None) -> "TableIndex":
+        """Index a corpus: one batched encode pass, then one bulk insert."""
+        if not tables:
+            raise ValueError("cannot build an index over an empty corpus")
+        embedder.precompute(tables, batch_size=batch_size)
+        keys = [table_fingerprint(t) for t in tables]
+        vectors = np.stack([embedder.table_embedding(t, variant=variant)
+                            for t in tables])
+        index = cls(vectors.shape[1], variant=variant, n_planes=n_planes,
+                    n_bands=n_bands, seed=seed)
+        index.add_batch(keys, vectors, [cls.table_meta(t) for t in tables])
+        return index
+
+    def query_table(self, embedder, table: Table, k: int = 10,
+                    exclude_self: bool = True) -> list[SearchHit]:
+        vector = embedder.table_embedding(table, variant=self.variant)
+        exclude = table_fingerprint(table) if exclude_self else None
+        return self.query_vector(vector, k, exclude=exclude)
+
+
+class ColumnIndex(VectorIndex):
+    """Per-column retrieval over colcomp embeddings (Figure 5b)."""
+
+    kind = "column"
+
+    def __init__(self, dim: int, composite: bool = True, **kwargs):
+        super().__init__(dim, **kwargs)
+        self.composite = composite
+
+    def _params(self) -> dict:
+        return {**super()._params(), "composite": self.composite}
+
+    def _restore_extra(self, params: dict) -> None:
+        self.composite = params.get("composite", True)
+
+    @staticmethod
+    def column_key(table: Table, j: int) -> str:
+        return f"{table_fingerprint(table)}:{j}"
+
+    @classmethod
+    def build(cls, embedder, tables: list[Table], composite: bool = True,
+              n_planes: int = 8, n_bands: int = 4, seed: int = 0,
+              batch_size: int | None = None) -> "ColumnIndex":
+        if not tables:
+            raise ValueError("cannot build an index over an empty corpus")
+        embedder.precompute(tables, batch_size=batch_size)
+        keys: list[str] = []
+        vectors: list[np.ndarray] = []
+        metas: list[dict] = []
+        for table in tables:
+            for j in range(table.n_cols):
+                keys.append(cls.column_key(table, j))
+                vectors.append(embedder.column_embedding(table, j,
+                                                         composite=composite))
+                metas.append({"caption": table.caption, "col": j,
+                              "label": table.column_label(j),
+                              "concept": table.column_concept(j)})
+        index = cls(len(vectors[0]), composite=composite, n_planes=n_planes,
+                    n_bands=n_bands, seed=seed)
+        index.add_batch(keys, np.stack(vectors), metas)
+        return index
+
+    def query_column(self, embedder, table: Table, j: int, k: int = 10,
+                     exclude_self: bool = True) -> list[SearchHit]:
+        vector = embedder.column_embedding(table, j, composite=self.composite)
+        exclude = self.column_key(table, j) if exclude_self else None
+        return self.query_vector(vector, k, exclude=exclude)
+
+
+_KINDS = {cls.kind: cls for cls in (VectorIndex, TableIndex, ColumnIndex)}

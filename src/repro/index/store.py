@@ -1,0 +1,181 @@
+"""Batched corpus encoding behind a content-addressed pooled-vector cache.
+
+The seed repo embedded one table at a time: every ``TabBiNEmbedder``
+lookup serialized a single table and ran one ``encode_pooled`` forward
+per table, padding each batch to that table's longest sequence.  At
+corpus scale (the paper embeds hundreds of thousands of columns) that
+wastes both forwards and padding.  :class:`EmbeddingStore` instead
+serializes a whole corpus up front, pools the sequences of *all* tables
+into fixed-size, length-sorted batches, and scatters the pooled cell
+vectors back per table.
+
+Cache entries are keyed by :func:`~repro.index.fingerprint.table_fingerprint`
+``(content hash, segment)`` — never ``id(table)`` — so entries survive
+garbage collection, are shared between equal-content tables, and remain
+meaningful across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import SEGMENTS
+from ..tables.table import Table
+from .fingerprint import table_fingerprint
+
+#: Default number of sequences per encoder forward.
+DEFAULT_BATCH_SIZE = 32
+
+#: Sequences are grouped into length buckets of this many tokens before
+#: batching, so a batch pads to its bucket boundary rather than to the
+#: longest sequence in the corpus (attention is quadratic in the padded
+#: length, so mixed-length batches would erase the batching win).
+LENGTH_BUCKET = 16
+
+#: Cap on ``batch_size * padded_len**2`` per forward — the element count
+#: of one attention-score matrix.  Beyond this the ``(B, heads, n, n)``
+#: temporaries fall out of CPU cache and elementwise ops (softmax, gelu)
+#: go memory-bandwidth-bound, so long sequences batch narrower and short
+#: ones wider.
+ATTENTION_AREA_BUDGET = 65536
+
+
+def _bucketed_batches(lengths: list[int], order: list[int],
+                      size: int) -> list[list[int]]:
+    """Split length-sorted positions into batches of at most ``size``
+    that never cross a :data:`LENGTH_BUCKET` boundary or exceed the
+    attention-area budget."""
+    batches: list[list[int]] = []
+    current: list[int] = []
+    current_bucket = -1
+    for i in order:
+        bucket = (lengths[i] + LENGTH_BUCKET - 1) // LENGTH_BUCKET
+        over_budget = (len(current) + 1) * lengths[i] ** 2 > ATTENTION_AREA_BUDGET
+        if current and (len(current) >= size or bucket != current_bucket
+                        or over_budget):
+            batches.append(current)
+            current = []
+        current_bucket = bucket
+        current.append(i)
+    if current:
+        batches.append(current)
+    return batches
+
+
+@dataclass
+class StoreStats:
+    """Counters for cache behaviour and batching (observability hooks)."""
+
+    hits: int = 0
+    misses: int = 0
+    tables_encoded: int = 0
+    sequences_encoded: int = 0
+    batches: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class EmbeddingStore:
+    """Content-addressed cache of pooled segment vectors for a corpus.
+
+    Parameters
+    ----------
+    serializer:
+        A :class:`~repro.core.serialize.TabBiNSerializer`.
+    models:
+        The four segment models (``row`` / ``column`` / ``hmd`` / ``vmd``).
+    batch_size:
+        Sequences per encoder forward when batch-encoding a corpus.
+    """
+
+    serializer: object
+    models: dict
+    batch_size: int = DEFAULT_BATCH_SIZE
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self):
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        # (fingerprint, segment) -> list[(CellRef, np.ndarray)]
+        self._cache: dict[tuple[str, str], list[tuple]] = {}
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def pooled(self, table: Table, segment: str) -> list[tuple]:
+        """(CellRef, vector) pairs for one table under one segment model,
+        encoding on demand when the table is not cached yet."""
+        key = (table_fingerprint(table), segment)
+        entry = self._cache.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        self.encode_corpus([table], segments=(segment,))
+        return self._cache[key]
+
+    def contains(self, table: Table, segment: str) -> bool:
+        return (table_fingerprint(table), segment) in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Batched corpus encoding
+    # ------------------------------------------------------------------
+    def encode_corpus(self, tables: list[Table],
+                      segments: tuple[str, ...] = SEGMENTS,
+                      batch_size: int | None = None) -> int:
+        """Encode every uncached table through the given segment models.
+
+        Sequences from all tables are pooled together, sorted by length
+        (so a batch pads to a near-uniform length instead of the corpus
+        maximum), chunked into ``batch_size`` groups, and scattered back
+        per table.  Returns the number of (table, segment) entries newly
+        encoded; equal-content duplicates are encoded once.
+        """
+        size = self.batch_size if batch_size is None else batch_size
+        if size <= 0:
+            raise ValueError("batch_size must be positive")
+        encoded = 0
+        for segment in segments:
+            if segment not in self.models:
+                raise ValueError(f"unknown segment {segment!r}")
+            pending: list[tuple[str, list]] = []
+            seen: set[str] = set()
+            for table in tables:
+                fp = table_fingerprint(table)
+                if fp in seen or (fp, segment) in self._cache:
+                    continue
+                seen.add(fp)
+                pending.append((fp, self.serializer.serialize(table, segment)))
+            if not pending:
+                continue
+
+            flat = [(fp, seq) for fp, seqs in pending for seq in seqs]
+            lengths = [len(seq) for _fp, seq in flat]
+            order = sorted(range(len(flat)), key=lengths.__getitem__)
+            mappings: list[dict | None] = [None] * len(flat)
+            model = self.models[segment]
+            for chunk in _bucketed_batches(lengths, order, size):
+                pooled = model.encode_pooled([flat[i][1] for i in chunk])
+                for i, mapping in zip(chunk, pooled):
+                    mappings[i] = mapping
+                self.stats.batches += 1
+
+            out_by_fp: dict[str, list[tuple]] = {fp: [] for fp, _ in pending}
+            for (fp, seq), mapping in zip(flat, mappings):
+                for idx, vector in mapping.items():
+                    out_by_fp[fp].append((seq.cell_refs[idx], vector))
+            for fp, out in out_by_fp.items():
+                self._cache[(fp, segment)] = out
+            encoded += len(pending)
+            self.stats.tables_encoded += len(pending)
+            self.stats.sequences_encoded += len(flat)
+        return encoded

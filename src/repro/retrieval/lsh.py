@@ -29,30 +29,58 @@ class CosineLSH:
                  seed: int = 0):
         if dim <= 0 or n_planes <= 0 or n_bands <= 0:
             raise ValueError("dim, n_planes and n_bands must be positive")
+        if n_planes > 63:
+            # Band keys pack one sign bit per plane into an int64; beyond
+            # that the packed bits would silently overflow to 0 and
+            # distinct buckets would collide.
+            raise ValueError("n_planes must be at most 63")
         rng = np.random.default_rng(seed)
         self.planes = rng.standard_normal((n_bands, n_planes, dim))
         self.n_bands = n_bands
         self.dim = dim
-        self._tables: list[dict[tuple, list[int]]] = [dict() for _ in range(n_bands)]
+        # Band keys are sign bits packed into one integer per band.
+        self._pows = 1 << np.arange(n_planes, dtype=np.int64)
+        self._tables: list[dict[int, list[int]]] = [dict() for _ in range(n_bands)]
         self._vectors: list[np.ndarray] = []
 
-    def _keys(self, vector: np.ndarray) -> list[tuple]:
+    def _keys(self, vector: np.ndarray) -> list[int]:
         signs = (self.planes @ np.asarray(vector, float)) > 0  # (bands, planes)
-        return [tuple(band.tolist()) for band in signs]
+        return (signs @ self._pows).tolist()
+
+    def _key_matrix(self, vectors: np.ndarray) -> np.ndarray:
+        """Packed band keys for a whole matrix, shape ``(bands, N)`` —
+        one ``planes @ vectors.T`` matmul per band."""
+        keys = np.empty((self.n_bands, len(vectors)), dtype=np.int64)
+        for b, band_planes in enumerate(self.planes):
+            keys[b] = ((band_planes @ vectors.T) > 0).T @ self._pows
+        return keys
 
     def add(self, vector: np.ndarray) -> int:
         """Index a vector; returns its integer id."""
         if len(vector) != self.dim:
             raise ValueError(f"expected dim {self.dim}, got {len(vector)}")
         idx = len(self._vectors)
-        self._vectors.append(np.asarray(vector, float))
+        # Copy: storing a view would let later caller-side mutation
+        # desynchronize stored vectors from their band buckets.
+        self._vectors.append(np.array(vector, dtype=float))
         for table, key in zip(self._tables, self._keys(vector)):
             table.setdefault(key, []).append(idx)
         return idx
 
-    def add_all(self, vectors: np.ndarray) -> None:
-        for vector in vectors:
-            self.add(vector)
+    def add_all(self, vectors: np.ndarray) -> list[int]:
+        """Bulk insert; one hashing matmul per band instead of one per
+        (vector, band).  Returns the assigned ids."""
+        matrix = np.asarray(vectors, float)
+        if matrix.ndim != 2 or matrix.shape[1] != self.dim:
+            raise ValueError(f"expected (N, {self.dim}) matrix, got "
+                             f"{matrix.shape}")
+        start = len(self._vectors)
+        keys = self._key_matrix(matrix)
+        self._vectors.extend(np.array(matrix, copy=True))
+        for table, band in zip(self._tables, keys):
+            for offset, key in enumerate(band.tolist()):
+                table.setdefault(key, []).append(start + offset)
+        return list(range(start, start + len(matrix)))
 
     def candidates(self, vector: np.ndarray) -> set[int]:
         """Ids sharing at least one band bucket with ``vector``."""
@@ -63,6 +91,16 @@ class CosineLSH:
 
     def __len__(self) -> int:
         return len(self._vectors)
+
+    def vector(self, idx: int) -> np.ndarray:
+        """The stored vector with id ``idx``."""
+        return self._vectors[idx]
+
+    def vectors(self) -> np.ndarray:
+        """All stored vectors as an ``(N, dim)`` matrix."""
+        if not self._vectors:
+            return np.zeros((0, self.dim))
+        return np.stack(self._vectors)
 
     def query(self, vector: np.ndarray, k: int,
               exclude: int | None = None) -> list[tuple[int, float]]:

@@ -36,6 +36,9 @@ def top_k(query: np.ndarray, items: np.ndarray, k: int,
     sims = cosine_matrix(query[None, :], items)[0]
     if exclude is not None:
         sims[exclude] = -np.inf
-    k = min(k, len(sims))
-    order = np.argsort(-sims, kind="stable")[:k]
-    return [(int(i), float(sims[i])) for i in order if np.isfinite(sims[i])]
+    # Drop non-finite entries (the excluded index) BEFORE slicing to k —
+    # filtering after the slice silently shrank results below k whenever
+    # the excluded self-match landed in the top k.
+    keep = np.nonzero(np.isfinite(sims))[0]
+    order = keep[np.argsort(-sims[keep], kind="stable")][:max(k, 0)]
+    return [(int(i), float(sims[i])) for i in order]

@@ -1,0 +1,24 @@
+"""Shared fixtures for index tests: a tiny untrained embedder + corpus.
+
+``steps=0`` skips pre-training — inference paths (serialization,
+batching, pooling, indexing) are what these tests exercise, and random
+initial weights make embeddings distinct enough to rank.
+"""
+
+import pytest
+
+from repro.core import TabBiNConfig, TabBiNEmbedder
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return load_dataset("cancerkg", n_tables=6, seed=0)
+
+
+@pytest.fixture(scope="session")
+def embedder(corpus):
+    emb, _stats = TabBiNEmbedder.build(
+        corpus, config=TabBiNConfig.tiny(), steps=0, vocab_size=300, seed=0,
+    )
+    return emb

@@ -1,0 +1,39 @@
+"""Smoke test for the index-throughput benchmark harness.
+
+Loads ``benchmarks/bench_index_throughput.py`` by path (the benchmarks
+directory is not a package) and runs a miniature configuration, checking
+the report has the ``BENCH_*.json`` tracking shape and serializes.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+BENCH_PATH = (Path(__file__).resolve().parents[2]
+              / "benchmarks" / "bench_index_throughput.py")
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_index_throughput",
+                                                  BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_smoke(tmp_path):
+    bench = load_bench_module()
+    report = bench.run(n_tables=4, steps=0, vocab_size=200,
+                       batch_sizes=(1, 4), repeats=1)
+    assert report["benchmark"] == "index_throughput"
+    assert report["config"]["n_tables"] == 4
+    modes = [r["mode"] for r in report["results"]]
+    assert modes == ["per-table", "batch=1", "batch=4"]
+    for record in report["results"]:
+        assert record["seconds"] > 0
+        assert record["tables_per_sec"] > 0
+    # JSON-serializable, as the BENCH_*.json tracking requires.
+    (tmp_path / "BENCH_index_throughput.json").write_text(json.dumps(report))
+    # The rendered table mentions every mode.
+    text = bench.render(report).to_text()
+    assert "per-table" in text and "batch=4" in text

@@ -1,0 +1,59 @@
+"""Content-fingerprint tests: equality, sensitivity, memoization."""
+
+from repro.index import table_fingerprint
+from repro.tables import Table, figure1_table, table1_nested
+
+
+def simple(caption="t", cell="x"):
+    return Table(caption, [["a", "b"]], [[cell, "2"]])
+
+
+class TestEquality:
+    def test_equal_content_equal_fingerprint(self):
+        assert table_fingerprint(simple()) == table_fingerprint(simple())
+
+    def test_distinct_objects_share_fingerprint(self):
+        t1, t2 = simple(), simple()
+        assert t1 is not t2
+        assert table_fingerprint(t1) == table_fingerprint(t2)
+
+    def test_deterministic_across_calls(self):
+        t = simple()
+        assert table_fingerprint(t) == table_fingerprint(t)
+
+
+class TestSensitivity:
+    def test_cell_change_changes_fingerprint(self):
+        assert table_fingerprint(simple(cell="x")) != table_fingerprint(simple(cell="y"))
+
+    def test_caption_change_changes_fingerprint(self):
+        assert table_fingerprint(simple(caption="a")) != table_fingerprint(simple(caption="b"))
+
+    def test_metadata_change_changes_fingerprint(self):
+        t1 = Table("t", [["a", "b"]], [["1", "2"]])
+        t2 = Table("t", [["a", "c"]], [["1", "2"]])
+        assert table_fingerprint(t1) != table_fingerprint(t2)
+
+    def test_vmd_distinguishes(self):
+        t1 = Table("t", [["a", "b"]], [["1", "2"]])
+        t2 = Table("t", [["a", "b"]], [["1", "2"]], header_cols=[["r"]])
+        assert table_fingerprint(t1) != table_fingerprint(t2)
+
+    def test_nested_content_covered(self):
+        inner1 = Table("inner", [["k"]], [["v1"]])
+        inner2 = Table("inner", [["k"]], [["v2"]])
+        t1 = Table("t", [["a"]], [[inner1]])
+        t2 = Table("t", [["a"]], [[inner2]])
+        assert table_fingerprint(t1) != table_fingerprint(t2)
+
+    def test_example_tables_all_distinct(self):
+        fps = {table_fingerprint(figure1_table()),
+               table_fingerprint(table1_nested())}
+        assert len(fps) == 2
+
+
+class TestMemoization:
+    def test_hash_cached_on_instance(self):
+        t = simple()
+        fp = table_fingerprint(t)
+        assert t._content_fingerprint == fp

@@ -57,6 +57,18 @@ class TestSimilarity:
         items = RNG.standard_normal((3, 4))
         assert len(top_k(items[0], items, k=10)) == 3
 
+    def test_top_k_with_exclusion_still_returns_k(self):
+        """Regression: the excluded self-match used to occupy a slot in
+        the top-k slice and get filtered afterwards, shrinking results."""
+        items = RNG.standard_normal((10, 4))
+        result = top_k(items[0], items, k=5, exclude=0)
+        assert len(result) == 5
+        assert 0 not in [i for i, _s in result]
+
+    def test_top_k_exclusion_caps_at_remaining(self):
+        items = RNG.standard_normal((4, 3))
+        assert len(top_k(items[0], items, k=10, exclude=0)) == 3
+
 
 class TestLSH:
     def test_candidates_include_near_duplicates(self):
@@ -102,10 +114,64 @@ class TestLSH:
         with pytest.raises(ValueError):
             CosineLSH(dim=0)
 
+    def test_too_many_planes_rejected(self):
+        """Packed int64 band keys hold at most 63 sign bits — more would
+        silently collide buckets."""
+        with pytest.raises(ValueError):
+            CosineLSH(dim=8, n_planes=64)
+        CosineLSH(dim=8, n_planes=63)  # at the limit is fine
+
     def test_len(self):
         lsh = CosineLSH(dim=4)
         lsh.add_all(RNG.standard_normal((7, 4)))
         assert len(lsh) == 7
+
+    def test_add_all_matches_sequential_add(self):
+        """The vectorized bulk insert must land vectors in the same
+        buckets, in the same order, as one-at-a-time adds."""
+        vectors = RNG.standard_normal((25, 10))
+        bulk = CosineLSH(dim=10, n_planes=7, n_bands=5, seed=4)
+        ids = bulk.add_all(vectors)
+        one = CosineLSH(dim=10, n_planes=7, n_bands=5, seed=4)
+        for v in vectors:
+            one.add(v)
+        assert ids == list(range(25))
+        assert bulk._tables == one._tables
+        query = RNG.standard_normal(10)
+        assert bulk.candidates(query) == one.candidates(query)
+
+    def test_add_all_returns_offset_ids(self):
+        lsh = CosineLSH(dim=4)
+        lsh.add(RNG.standard_normal(4))
+        assert lsh.add_all(RNG.standard_normal((3, 4))) == [1, 2, 3]
+
+    def test_add_all_rejects_bad_shape(self):
+        lsh = CosineLSH(dim=4)
+        with pytest.raises(ValueError):
+            lsh.add_all(RNG.standard_normal((3, 5)))
+        with pytest.raises(ValueError):
+            lsh.add_all(RNG.standard_normal(4))
+
+    def test_inserted_vectors_are_copies(self):
+        """Mutating the caller's array after insert must not corrupt the
+        index (float64 inputs used to be stored as views)."""
+        lsh = CosineLSH(dim=4, seed=0)
+        matrix = np.ones((2, 4))
+        lsh.add_all(matrix)
+        single = np.ones(4)
+        lsh.add(single)
+        matrix[:] = -100.0
+        single[:] = -100.0
+        assert np.allclose(lsh.vectors(), 1.0)
+        assert lsh.query(np.ones(4), k=3)[0][1] == pytest.approx(1.0)
+
+    def test_vectors_accessor(self):
+        lsh = CosineLSH(dim=3)
+        assert lsh.vectors().shape == (0, 3)
+        v = RNG.standard_normal(3)
+        idx = lsh.add(v)
+        assert np.allclose(lsh.vector(idx), v)
+        assert lsh.vectors().shape == (1, 3)
 
 
 class TestClustering:

@@ -62,3 +62,57 @@ class TestEncode:
     def test_bad_table_index(self, capsys):
         code = main(["encode", "cancerkg", "--n-tables", "4", "--table", "99"])
         assert code == 2
+
+
+class TestIndex:
+    @pytest.fixture(scope="class")
+    def built(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("index") / "idx"
+        code = main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(out)])
+        assert code == 0
+        return out
+
+    def test_build_writes_model_and_indexes(self, built, capsys):
+        assert (built / "tables.npz").exists()
+        assert (built / "columns.npz").exists()
+        assert (built / "model" / "vocab.json").exists()
+
+    def test_query_tables_round_trip(self, built, capsys):
+        code = main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(built), "--table", "1", "--k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Tables similar to" in out
+        assert out.count("0.") >= 3        # three scored neighbours
+
+    def test_query_column_round_trip(self, built, capsys):
+        code = main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(built), "--table", "0", "--column", "0",
+                     "--k", "2"])
+        assert code == 0
+        assert "Columns similar to" in capsys.readouterr().out
+
+    def test_query_bad_table(self, built):
+        assert main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(built), "--table", "99"]) == 2
+
+    def test_query_bad_column(self, built):
+        assert main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(built), "--table", "0",
+                     "--column", "99"]) == 2
+
+    def test_build_empty_corpus_rejected(self, tmp_path, capsys):
+        code = main(["index", "build", "cancerkg", "--n-tables", "0",
+                     "--steps", "0", "--out", str(tmp_path / "idx")])
+        assert code == 2
+        assert "empty corpus" in capsys.readouterr().err
+
+    def test_query_corpus_mismatch_rejected(self, built, capsys):
+        """Generated corpora are not prefix-stable — querying with other
+        corpus arguments than the build must error, not mis-rank."""
+        code = main(["index", "query", "cancerkg", "--n-tables", "4",
+                     "--index", str(built), "--table", "0"])
+        assert code == 2
+        assert "built from" in capsys.readouterr().err
