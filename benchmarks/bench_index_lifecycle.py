@@ -1,0 +1,163 @@
+"""Index lifecycle + parallel-encode benchmark.
+
+Two sections, one report:
+
+- **lifecycle** — wall-clock for each phase of the
+  :class:`~repro.index.index.VectorIndex` lifecycle on a synthetic
+  corpus of seeded gaussian vectors: bulk ``add_batch``, tombstoning a
+  fraction with ``remove``, querying *through* the tombstones,
+  ``compact``, querying the compacted index, and ``merge`` of two
+  disjoint halves.
+- **encode** — tables/sec for a full four-segment
+  ``EmbeddingStore.encode_corpus`` serially vs ``workers=N`` process
+  scatter (identical batches, identical results; only the executor
+  differs).
+
+Results are written to ``results/BENCH_index_lifecycle.json`` in the
+shared ``BENCH_*.json`` tracking shape (benchmark name, config, one
+record per op/mode) so successive runs can be diffed.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_index_lifecycle.py``)
+or via the smoke test in ``tests/index/test_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.core import TabBiNConfig, TabBiNEmbedder
+from repro.datasets import load_dataset
+from repro.eval import ResultsTable, results_dir
+from repro.index import VectorIndex
+
+WORKER_COUNTS = (2, 4)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def lifecycle_records(n_vectors: int = 2000, dim: int = 64,
+                      remove_frac: float = 0.25, n_queries: int = 50,
+                      k: int = 10, seed: int = 0) -> list[dict]:
+    """Time each lifecycle phase on one synthetic index."""
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n_vectors, dim))
+    queries = rng.standard_normal((n_queries, dim))
+    keys = [f"k{i}" for i in range(n_vectors)]
+    records = []
+
+    index = VectorIndex(dim=dim, seed=seed)
+    seconds, _ = _timed(lambda: index.add_batch(keys, vectors))
+    records.append({"op": "add_batch", "n": n_vectors, "seconds": seconds,
+                    "per_sec": n_vectors / seconds if seconds else None})
+
+    doomed = [keys[i] for i in
+              rng.choice(n_vectors, int(n_vectors * remove_frac),
+                         replace=False)]
+
+    def remove_all():
+        for key in doomed:
+            index.remove(key)
+    seconds, _ = _timed(remove_all)
+    records.append({"op": "remove", "n": len(doomed), "seconds": seconds,
+                    "per_sec": len(doomed) / seconds if seconds else None})
+
+    def query_all():
+        for q in queries:
+            index.query_vector(q, k=k)
+    seconds, _ = _timed(query_all)
+    records.append({"op": "query+tombstones", "n": n_queries,
+                    "seconds": seconds,
+                    "per_sec": n_queries / seconds if seconds else None})
+
+    seconds, reclaimed = _timed(index.compact)
+    records.append({"op": "compact", "n": reclaimed, "seconds": seconds,
+                    "per_sec": reclaimed / seconds if seconds else None})
+
+    seconds, _ = _timed(query_all)
+    records.append({"op": "query compacted", "n": n_queries,
+                    "seconds": seconds,
+                    "per_sec": n_queries / seconds if seconds else None})
+
+    half = n_vectors // 2
+    left, right = VectorIndex(dim=dim, seed=seed), VectorIndex(dim=dim, seed=seed)
+    left.add_batch(keys[:half], vectors[:half])
+    right.add_batch(keys[half:], vectors[half:])
+    seconds, added = _timed(lambda: left.merge(right))
+    records.append({"op": "merge", "n": added, "seconds": seconds,
+                    "per_sec": added / seconds if seconds else None})
+    return records
+
+
+def encode_records(n_tables: int = 12, vocab_size: int = 300, seed: int = 0,
+                   dataset: str = "cancerkg",
+                   worker_counts: tuple[int, ...] = WORKER_COUNTS,
+                   repeats: int = 2) -> list[dict]:
+    """Serial vs multi-process full-corpus encode (best of ``repeats``)."""
+    tables = load_dataset(dataset, n_tables=n_tables, seed=seed)
+    embedder, _stats = TabBiNEmbedder.build(
+        tables, config=TabBiNConfig.small(), steps=0,
+        vocab_size=vocab_size, seed=seed,
+    )
+    records = []
+    for workers in (1, *worker_counts):
+        best = float("inf")
+        for _ in range(max(repeats, 1)):
+            embedder.clear_cache()
+            start = time.perf_counter()
+            embedder.precompute(tables, workers=workers)
+            best = min(best, time.perf_counter() - start)
+        mode = "encode serial" if workers == 1 else f"encode workers={workers}"
+        records.append({"op": mode, "n": n_tables, "seconds": best,
+                        "per_sec": n_tables / best if best else None})
+    return records
+
+
+def run(n_vectors: int = 2000, dim: int = 64, n_tables: int = 12,
+        vocab_size: int = 300, seed: int = 0,
+        worker_counts: tuple[int, ...] = WORKER_COUNTS,
+        repeats: int = 2) -> dict:
+    return {
+        "benchmark": "index_lifecycle",
+        "config": {"n_vectors": n_vectors, "dim": dim, "n_tables": n_tables,
+                   "vocab_size": vocab_size, "seed": seed,
+                   "worker_counts": list(worker_counts), "repeats": repeats},
+        "results": (lifecycle_records(n_vectors=n_vectors, dim=dim, seed=seed)
+                    + encode_records(n_tables=n_tables, vocab_size=vocab_size,
+                                     seed=seed, worker_counts=worker_counts,
+                                     repeats=repeats)),
+    }
+
+
+def render(report: dict) -> ResultsTable:
+    config = report["config"]
+    out = ResultsTable(
+        f"Index lifecycle: {config['n_vectors']} vectors (dim "
+        f"{config['dim']}), {config['n_tables']}-table encode",
+        columns=["n", "seconds", "ops/sec"])
+    for record in report["results"]:
+        out.add(record["op"], "n", record["n"])
+        out.add(record["op"], "seconds", f"{record['seconds']:.3f}")
+        per_sec = record["per_sec"]
+        out.add(record["op"], "ops/sec",
+                f"{per_sec:.1f}" if per_sec is not None else "-")
+    return out
+
+
+def main() -> int:
+    report = run()
+    render(report).show()
+    path = results_dir() / "BENCH_index_lifecycle.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"Wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,11 @@ Subcommands::
     python -m repro.cli index query <dataset> --index DIR  top-k neighbours of
                                                            a table (or one of
                                                            its columns)
+    python -m repro.cli index rm      <index.npz> KEY...   tombstone entries
+    python -m repro.cli index compact <index.npz>          reclaim tombstones
+    python -m repro.cli index merge   --out OUT A B...     merge saved indexes
+                                                           (dedupes by
+                                                           fingerprint)
 
 Datasets are the five generated corpora (webtables, covidkg, cancerkg,
 saus, cius); all runs are seeded and CPU-sized.
@@ -143,6 +148,10 @@ def cmd_index_build(args: argparse.Namespace) -> int:
 
     from .index import ColumnIndex, TableIndex
 
+    if args.workers is not None and args.workers <= 0:
+        # Validate before the (expensive) train/load step.
+        print("--workers must be positive", file=sys.stderr)
+        return 2
     tables = load_dataset(args.dataset, n_tables=args.n_tables, seed=args.seed)
     if not tables:
         print("cannot build an index over an empty corpus "
@@ -151,14 +160,18 @@ def cmd_index_build(args: argparse.Namespace) -> int:
     embedder = _load_or_train(args, tables)
     out = Path(args.out)
     embedder.save(out / "model")
+    mode = f"{args.workers} workers" if args.workers and args.workers > 1 \
+        else "serial"
     print(f"Batch-encoding {len(tables)} tables "
-          f"(batch size {args.batch_size}) ...")
+          f"(batch size {args.batch_size}, {mode}) ...")
     corpus_id = {"dataset": args.dataset, "n_tables": args.n_tables,
                  "seed": args.seed}
     table_index = TableIndex.build(embedder, tables, variant=args.variant,
-                                   seed=args.seed, batch_size=args.batch_size)
+                                   seed=args.seed, batch_size=args.batch_size,
+                                   workers=args.workers)
     column_index = ColumnIndex.build(embedder, tables, seed=args.seed,
-                                     batch_size=args.batch_size)
+                                     batch_size=args.batch_size,
+                                     workers=args.workers)
     table_index.corpus = dict(corpus_id)
     column_index.corpus = dict(corpus_id)
     table_index.save(out / "tables.npz")
@@ -223,6 +236,75 @@ def cmd_index_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_saved_index(path: str):
+    """Load one saved ``.npz`` index for a lifecycle command, mapping the
+    usual failure modes to a printed error + ``None``."""
+    from .index import load_index
+
+    try:
+        return load_index(path)
+    except FileNotFoundError:
+        print(f"no index file at {path}", file=sys.stderr)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+    return None
+
+
+def cmd_index_rm(args: argparse.Namespace) -> int:
+    index = _load_saved_index(args.path)
+    if index is None:
+        return 2
+    keys = list(dict.fromkeys(args.keys))    # drop repeated CLI keys
+    missing = [key for key in keys if key not in index]
+    if missing:
+        print(f"key(s) not in index: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    for key in keys:
+        index.remove(key)
+    if args.compact:
+        index.compact()
+    index.save(args.path)
+    print(f"Removed {len(keys)} of {len(index) + len(keys)} entries from "
+          f"{args.path} ({len(index)} live, {index.n_tombstones} tombstoned)")
+    return 0
+
+
+def cmd_index_compact(args: argparse.Namespace) -> int:
+    index = _load_saved_index(args.path)
+    if index is None:
+        return 2
+    dropped = index.compact()
+    index.save(args.path)
+    print(f"Compacted {args.path}: reclaimed {dropped} tombstoned slots, "
+          f"{len(index)} live entries")
+    return 0
+
+
+def cmd_index_merge(args: argparse.Namespace) -> int:
+    if len(args.paths) < 2:
+        print("index merge needs at least two input indexes",
+              file=sys.stderr)
+        return 2
+    merged = _load_saved_index(args.paths[0])
+    if merged is None:
+        return 2
+    total_added = 0
+    for path in args.paths[1:]:
+        other = _load_saved_index(path)
+        if other is None:
+            return 2
+        try:
+            total_added += merged.merge(other)
+        except ValueError as error:
+            print(f"cannot merge {path}: {error}", file=sys.stderr)
+            return 2
+    merged.save(args.out)
+    print(f"Merged {len(args.paths)} indexes into {args.out}: "
+          f"{len(merged)} entries ({total_added} added beyond the first "
+          f"index; duplicates fingerprint-deduped)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -274,6 +356,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="table embedding composition")
     p_build.add_argument("--batch-size", type=int, default=32,
                          help="sequences per encoder forward")
+    p_build.add_argument("--workers", type=int, default=None,
+                         help="scatter encoder batches across N processes "
+                              "(results identical to serial; default serial)")
     p_build.set_defaults(func=cmd_index_build)
 
     p_query = index_sub.add_parser("query", help="top-k neighbours from a "
@@ -287,6 +372,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="query this column instead of the whole table")
     p_query.add_argument("--k", type=int, default=5)
     p_query.set_defaults(func=cmd_index_query)
+
+    p_rm = index_sub.add_parser("rm", help="tombstone entries of a saved "
+                                           "index by key")
+    p_rm.add_argument("path", help="path to a saved index .npz")
+    p_rm.add_argument("keys", nargs="+", metavar="KEY",
+                      help="fingerprint keys to remove")
+    p_rm.add_argument("--compact", action="store_true",
+                      help="reclaim the tombstoned slots before saving")
+    p_rm.set_defaults(func=cmd_index_rm)
+
+    p_compact = index_sub.add_parser("compact", help="rebuild a saved index "
+                                                     "without its tombstones")
+    p_compact.add_argument("path", help="path to a saved index .npz")
+    p_compact.set_defaults(func=cmd_index_compact)
+
+    p_merge = index_sub.add_parser("merge", help="merge saved indexes "
+                                                 "(fingerprint-deduped)")
+    p_merge.add_argument("paths", nargs="+", metavar="PATH",
+                         help="two or more saved index .npz files")
+    p_merge.add_argument("--out", required=True, help="output .npz path")
+    p_merge.set_defaults(func=cmd_index_merge)
     return parser
 
 

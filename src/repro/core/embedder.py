@@ -116,19 +116,53 @@ class TabBiNEmbedder:
         return self.store.pooled(table, segment)
 
     def precompute(self, corpus: list[Table],
-                   batch_size: int | None = None) -> int:
+                   batch_size: int | None = None,
+                   workers: int | None = None) -> int:
         """Batch-encode a whole corpus through all four segment models.
 
         Sequences are grouped across tables into fixed-size padded
         batches (see :class:`~repro.index.store.EmbeddingStore`), which
         is substantially faster than the per-table lazy path when
-        embedding many tables.  Returns the number of newly encoded
-        (table, segment) entries.
+        embedding many tables.  ``workers=N`` scatters those batches
+        across a process pool with results identical to the serial path.
+        Returns the number of newly encoded (table, segment) entries.
         """
-        return self.store.encode_corpus(corpus, batch_size=batch_size)
+        return self.store.encode_corpus(corpus, batch_size=batch_size,
+                                        workers=workers)
 
     def clear_cache(self) -> None:
         self.store.clear()
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that determines this embedder's
+        vector space: vocabulary, config, and all segment-model weights.
+
+        Two embedders with equal fingerprints produce identical
+        embeddings for any table, so indexes stamped with it (see
+        :attr:`~repro.index.index.VectorIndex.model_id`) can refuse to
+        merge vectors from a different checkpoint.
+
+        Computed once and memoized: embedders are inference-frozen after
+        ``build``/``load`` (at paper scale, hashing every weight per
+        ``TableIndex.build`` *and* ``ColumnIndex.build`` would be two
+        full redundant passes over the parameters).
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        import hashlib
+
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update("\x00".join(self.tokenizer.vocab).encode("utf-8"))
+        digest.update(repr(self.config).encode("utf-8"))
+        for segment in sorted(self.models):
+            digest.update(segment.encode("utf-8"))
+            state = self.models[segment].state_dict()
+            for name in sorted(state):
+                digest.update(name.encode("utf-8"))
+                digest.update(np.ascontiguousarray(state[name]).tobytes())
+        self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     @property
     def hidden(self) -> int:

@@ -9,11 +9,19 @@ behind cosine LSH for sub-quadratic search.
 """
 
 from .fingerprint import table_fingerprint
-from .index import ColumnIndex, SearchHit, TableIndex, VectorIndex, load_index
-from .store import DEFAULT_BATCH_SIZE, EmbeddingStore, StoreStats
+from .index import (
+    FORMAT_VERSION,
+    ColumnIndex,
+    SearchHit,
+    TableIndex,
+    VectorIndex,
+    load_index,
+)
+from .store import DEFAULT_BATCH_SIZE, EmbeddingStore, StoreStats, default_workers
 
 __all__ = [
     "table_fingerprint",
-    "EmbeddingStore", "StoreStats", "DEFAULT_BATCH_SIZE",
+    "EmbeddingStore", "StoreStats", "DEFAULT_BATCH_SIZE", "default_workers",
     "VectorIndex", "TableIndex", "ColumnIndex", "SearchHit", "load_index",
+    "FORMAT_VERSION",
 ]

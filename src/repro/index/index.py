@@ -12,6 +12,15 @@ stored as an array, everything else (keys, metadata, LSH and embedding
 parameters) as a JSON blob.  Loading re-derives the LSH buckets with one
 vectorized ``add_all`` — the hyperplanes are seeded, so buckets are
 bit-identical across processes.
+
+Corpora churn, so indexes have a lifecycle beyond ``build``:
+:meth:`VectorIndex.remove` tombstones an entry (dropped from the LSH
+buckets, slot retained), :meth:`VectorIndex.compact` rebuilds the dense
+arrays and bucket tables without the tombstones, and
+:meth:`VectorIndex.merge` folds another compatible index in, deduping by
+fingerprint key.  The ``.npz`` format is versioned
+(:data:`FORMAT_VERSION`) and persists tombstones, so ``save``/``load``
+is an exact round-trip at any point of the lifecycle.
 """
 
 from __future__ import annotations
@@ -27,6 +36,13 @@ from ..tables.table import Table
 from .fingerprint import table_fingerprint
 
 _PAYLOAD_KEY = "__index__"
+
+#: On-disk ``.npz`` format version.  Version 1 (unversioned payloads
+#: from before the lifecycle work) had no tombstones; version 2 adds
+#: ``format_version`` and a ``tombstones`` id list.  Loaders accept any
+#: version up to this one and reject newer files with a clear error
+#: instead of silently mis-reading them.
+FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -60,6 +76,12 @@ class VectorIndex:
         #: with the index so queries can check they target the same
         #: corpus the index was built from.
         self.corpus: dict = {}
+        #: Fingerprint of the embedder the vectors came from (see
+        #: :meth:`~repro.core.embedder.TabBiNEmbedder.fingerprint`);
+        #: ``None`` for hand-built indexes.  :meth:`merge` refuses to
+        #: mix vectors from two *different known* checkpoints — same
+        #: dim and variant do not imply the same embedding space.
+        self.model_id: str | None = None
 
     # ------------------------------------------------------------------
     # Population
@@ -98,13 +120,115 @@ class VectorIndex:
         return [self._id_of[key] for key in keys]
 
     def __len__(self) -> int:
-        return len(self.keys)
+        """Number of *live* (non-tombstoned) entries."""
+        return len(self._id_of)
 
     def __contains__(self, key: str) -> bool:
         return key in self._id_of
 
     def vector(self, key: str) -> np.ndarray:
         return self.lsh.vector(self._id_of[key])
+
+    # ------------------------------------------------------------------
+    # Lifecycle: remove / compact / merge
+    # ------------------------------------------------------------------
+    def remove(self, key: str) -> None:
+        """Tombstone ``key``: queries stop returning it immediately; the
+        dense slot is reclaimed by the next :meth:`compact`.  Removing a
+        key that is not live raises ``KeyError``."""
+        idx = self._id_of.pop(key, None)
+        if idx is None:
+            raise KeyError(f"no live entry for key {key!r}")
+        self.lsh.remove(idx)
+
+    @property
+    def n_tombstones(self) -> int:
+        """Entries removed since the last :meth:`compact`."""
+        return len(self.lsh.removed)
+
+    def live_items(self) -> list[tuple[str, np.ndarray, dict]]:
+        """``(key, vector, meta)`` for every live entry, insertion order."""
+        return [(self.keys[i], self.lsh.vector(i), self.meta[i])
+                for i in self.lsh.live_ids()]
+
+    def compact(self) -> int:
+        """Rebuild the dense arrays and LSH bucket tables without the
+        tombstones; returns the number of slots reclaimed.  A no-op (and
+        no rebuild) when nothing was removed."""
+        dropped = self.n_tombstones
+        if not dropped:
+            return 0
+        live = self.live_items()
+        self.lsh = CosineLSH(self.dim, n_planes=self.n_planes,
+                             n_bands=self.n_bands, seed=self.seed)
+        self.keys, self.meta, self._id_of = [], [], {}
+        if live:
+            vectors = np.stack([vec for _key, vec, _meta in live])
+            ids = self.lsh.add_all(vectors)
+            self.keys = [key for key, _vec, _meta in live]
+            self.meta = [meta for _key, _vec, meta in live]
+            self._id_of = dict(zip(self.keys, ids))
+        return dropped
+
+    def _merge_signature(self) -> dict:
+        """Parameters two indexes must share to be merged.  LSH geometry
+        (``n_planes``/``n_bands``/``seed``) is deliberately absent: the
+        merged index keeps *this* index's hyperplanes and incoming
+        vectors are re-hashed through them, so only the vector space
+        (kind, dim, embedding-composition params and — when both are
+        known — the source model's fingerprint) must agree."""
+        signature = self._params()
+        for local in ("n_planes", "n_bands", "seed", "corpus"):
+            signature.pop(local, None)
+        return signature
+
+    def merge(self, other: "VectorIndex") -> int:
+        """Fold ``other``'s live entries into this index, deduping by
+        key (fingerprints, so equal-content tables merge to one entry).
+        Returns the number of entries actually added; incompatible
+        parameters (see :meth:`_merge_signature`) raise ``ValueError``."""
+        mine, theirs = self._merge_signature(), other._merge_signature()
+        if mine.get("model_id") is None or theirs.get("model_id") is None:
+            # An unknown checkpoint (hand-built index, pre-v2 file) is a
+            # wildcard; only two *different known* checkpoints conflict.
+            mine.pop("model_id", None)
+            theirs.pop("model_id", None)
+        if mine != theirs:
+            diff = {name: (mine.get(name), theirs.get(name))
+                    for name in mine.keys() | theirs.keys()
+                    if mine.get(name) != theirs.get(name)}
+            raise ValueError(f"cannot merge incompatible indexes: {diff}")
+        incoming = other.live_items()
+        before = len(self)
+        if incoming:
+            self.add_batch([key for key, _vec, _meta in incoming],
+                           np.stack([vec for _key, vec, _meta in incoming]),
+                           [dict(meta) for _key, _vec, meta in incoming])
+        if self.model_id is None:
+            # Adopt the known checkpoint so a later merge with a *third*
+            # checkpoint is refused instead of wildcarded through.
+            self.model_id = other.model_id
+        self._merge_corpus_stamp(other)
+        return len(self) - before
+
+    def _merge_corpus_stamp(self, other: "VectorIndex") -> None:
+        """Union the corpus provenance: a merged multi-corpus index must
+        not keep the first shard's stamp verbatim (downstream provenance
+        checks would accept queries from one shard's corpus and reject
+        the other's)."""
+        if self.corpus == other.corpus:
+            return
+
+        def provenances(stamp: dict) -> list[dict]:
+            if not stamp:
+                return []
+            return list(stamp.get("merged_from", [stamp]))
+
+        combined: list[dict] = []
+        for stamp in provenances(self.corpus) + provenances(other.corpus):
+            if stamp not in combined:
+                combined.append(stamp)
+        self.corpus = {"merged_from": combined} if combined else {}
 
     # ------------------------------------------------------------------
     # Query
@@ -124,13 +248,18 @@ class VectorIndex:
     def _params(self) -> dict:
         return {"kind": self.kind, "dim": self.dim, "n_planes": self.n_planes,
                 "n_bands": self.n_bands, "seed": self.seed,
-                "corpus": self.corpus}
+                "corpus": self.corpus, "model_id": self.model_id}
 
     def save(self, path: str | Path) -> Path:
+        """Write the full lifecycle state — dense vectors *including*
+        tombstoned slots plus the tombstone id list — so a loaded index
+        is an exact replica mid-lifecycle, not a silently compacted one."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps({"params": self._params(), "keys": self.keys,
-                              "meta": self.meta})
+        payload = json.dumps({"format_version": FORMAT_VERSION,
+                              "params": self._params(), "keys": self.keys,
+                              "meta": self.meta,
+                              "tombstones": sorted(self.lsh.removed)})
         np.savez(path, vectors=self.lsh.vectors(),
                  **{_PAYLOAD_KEY: np.frombuffer(payload.encode("utf-8"),
                                                 dtype=np.uint8)})
@@ -138,16 +267,24 @@ class VectorIndex:
 
     @classmethod
     def _from_payload(cls, params: dict, keys: list[str], meta: list[dict],
-                      vectors: np.ndarray) -> "VectorIndex":
+                      vectors: np.ndarray,
+                      tombstones: list[int]) -> "VectorIndex":
         index = cls(params["dim"], n_planes=params["n_planes"],
                     n_bands=params["n_bands"], seed=params["seed"])
         index.corpus = params.get("corpus", {})
+        index.model_id = params.get("model_id")
         index._restore_extra(params)
         if len(keys):
-            ids = index.lsh.add_all(vectors)
+            index.lsh.add_all(vectors)
             index.keys = list(keys)
             index.meta = list(meta)
-            index._id_of = dict(zip(keys, ids))
+            for idx in tombstones:
+                index.lsh.remove(idx)
+            dead = set(tombstones)
+            # A key removed and later re-added occupies two dense slots;
+            # only the live one may win the key -> id mapping.
+            index._id_of = {key: i for i, key in enumerate(keys)
+                            if i not in dead}
         return index
 
     def _restore_extra(self, params: dict) -> None:
@@ -161,13 +298,17 @@ class VectorIndex:
         with np.load(path) as archive:
             payload = json.loads(bytes(archive[_PAYLOAD_KEY]).decode("utf-8"))
             vectors = archive["vectors"]
+        version = payload.get("format_version", 1)
+        if version > FORMAT_VERSION:
+            raise ValueError(f"{path} uses index format v{version}; this "
+                             f"build reads up to v{FORMAT_VERSION}")
         params = payload["params"]
         target = _KINDS.get(params.get("kind"), cls)
         if cls is not VectorIndex and target is not cls:
             raise ValueError(f"{path} holds a {params.get('kind')!r} index, "
                              f"not {cls.kind!r}")
         return target._from_payload(params, payload["keys"], payload["meta"],
-                                    vectors)
+                                    vectors, payload.get("tombstones", []))
 
 
 def load_index(path: str | Path) -> VectorIndex:
@@ -198,16 +339,18 @@ class TableIndex(VectorIndex):
     @classmethod
     def build(cls, embedder, tables: list[Table], variant: str = "tblcomp1",
               n_planes: int = 8, n_bands: int = 4, seed: int = 0,
-              batch_size: int | None = None) -> "TableIndex":
+              batch_size: int | None = None,
+              workers: int | None = None) -> "TableIndex":
         """Index a corpus: one batched encode pass, then one bulk insert."""
         if not tables:
             raise ValueError("cannot build an index over an empty corpus")
-        embedder.precompute(tables, batch_size=batch_size)
+        embedder.precompute(tables, batch_size=batch_size, workers=workers)
         keys = [table_fingerprint(t) for t in tables]
         vectors = np.stack([embedder.table_embedding(t, variant=variant)
                             for t in tables])
         index = cls(vectors.shape[1], variant=variant, n_planes=n_planes,
                     n_bands=n_bands, seed=seed)
+        index.model_id = embedder.fingerprint()
         index.add_batch(keys, vectors, [cls.table_meta(t) for t in tables])
         return index
 
@@ -240,10 +383,11 @@ class ColumnIndex(VectorIndex):
     @classmethod
     def build(cls, embedder, tables: list[Table], composite: bool = True,
               n_planes: int = 8, n_bands: int = 4, seed: int = 0,
-              batch_size: int | None = None) -> "ColumnIndex":
+              batch_size: int | None = None,
+              workers: int | None = None) -> "ColumnIndex":
         if not tables:
             raise ValueError("cannot build an index over an empty corpus")
-        embedder.precompute(tables, batch_size=batch_size)
+        embedder.precompute(tables, batch_size=batch_size, workers=workers)
         keys: list[str] = []
         vectors: list[np.ndarray] = []
         metas: list[dict] = []
@@ -257,6 +401,7 @@ class ColumnIndex(VectorIndex):
                               "concept": table.column_concept(j)})
         index = cls(len(vectors[0]), composite=composite, n_planes=n_planes,
                     n_bands=n_bands, seed=seed)
+        index.model_id = embedder.fingerprint()
         index.add_batch(keys, np.stack(vectors), metas)
         return index
 

@@ -13,10 +13,20 @@ Cache entries are keyed by :func:`~repro.index.fingerprint.table_fingerprint`
 ``(content hash, segment)`` — never ``id(table)`` — so entries survive
 garbage collection, are shared between equal-content tables, and remain
 meaningful across processes.
+
+The length-bucketed batches are mutually independent, which makes the
+scatter step the only synchronization point: ``encode_corpus(...,
+workers=N)`` ships the *same* batches the serial path would build to a
+``ProcessPoolExecutor`` (the segment models are pickled once per worker)
+and gathers the pooled mappings back in original batch order, so the
+parallel path is bit-identical to the serial one — same cache entries,
+same stats.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..core.config import SEGMENTS
@@ -38,6 +48,29 @@ LENGTH_BUCKET = 16
 #: go memory-bandwidth-bound, so long sequences batch narrower and short
 #: ones wider.
 ATTENTION_AREA_BUDGET = 65536
+
+
+#: Segment models installed in each worker process by the pool
+#: initializer, so tasks ship only ``(segment, sequences)`` instead of
+#: re-pickling the models per batch.
+_WORKER_MODELS: dict | None = None
+
+
+def _init_worker(models: dict) -> None:
+    global _WORKER_MODELS
+    _WORKER_MODELS = models
+
+
+def _encode_batch(segment: str, sequences: list) -> list[dict]:
+    """One encoder forward in a worker process (top-level so it pickles
+    under every multiprocessing start method)."""
+    return _WORKER_MODELS[segment].encode_pooled(sequences)
+
+
+def default_workers() -> int:
+    """A safe default worker count: physical parallelism minus one core
+    for the gathering parent, at least 1."""
+    return max((os.cpu_count() or 2) - 1, 1)
 
 
 def _bucketed_batches(lengths: list[int], order: list[int],
@@ -131,7 +164,8 @@ class EmbeddingStore:
     # ------------------------------------------------------------------
     def encode_corpus(self, tables: list[Table],
                       segments: tuple[str, ...] = SEGMENTS,
-                      batch_size: int | None = None) -> int:
+                      batch_size: int | None = None,
+                      workers: int | None = None) -> int:
         """Encode every uncached table through the given segment models.
 
         Sequences from all tables are pooled together, sorted by length
@@ -139,43 +173,72 @@ class EmbeddingStore:
         maximum), chunked into ``batch_size`` groups, and scattered back
         per table.  Returns the number of (table, segment) entries newly
         encoded; equal-content duplicates are encoded once.
+
+        ``workers=N`` (N > 1) scatters the batches across a process pool
+        instead of encoding them in-loop.  The batches themselves — and
+        therefore every pooled vector and every counter in
+        :attr:`stats` — are exactly the ones the serial path produces;
+        only the executor changes.  ``None`` or ``1`` stays serial (see
+        :func:`default_workers` for a machine-sized choice).
         """
         size = self.batch_size if batch_size is None else batch_size
         if size <= 0:
             raise ValueError("batch_size must be positive")
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        pool: ProcessPoolExecutor | None = None
         encoded = 0
-        for segment in segments:
-            if segment not in self.models:
-                raise ValueError(f"unknown segment {segment!r}")
-            pending: list[tuple[str, list]] = []
-            seen: set[str] = set()
-            for table in tables:
-                fp = table_fingerprint(table)
-                if fp in seen or (fp, segment) in self._cache:
+        try:
+            for segment in segments:
+                if segment not in self.models:
+                    raise ValueError(f"unknown segment {segment!r}")
+                pending: list[tuple[str, list]] = []
+                seen: set[str] = set()
+                for table in tables:
+                    fp = table_fingerprint(table)
+                    if fp in seen or (fp, segment) in self._cache:
+                        continue
+                    seen.add(fp)
+                    pending.append((fp,
+                                    self.serializer.serialize(table, segment)))
+                if not pending:
                     continue
-                seen.add(fp)
-                pending.append((fp, self.serializer.serialize(table, segment)))
-            if not pending:
-                continue
 
-            flat = [(fp, seq) for fp, seqs in pending for seq in seqs]
-            lengths = [len(seq) for _fp, seq in flat]
-            order = sorted(range(len(flat)), key=lengths.__getitem__)
-            mappings: list[dict | None] = [None] * len(flat)
-            model = self.models[segment]
-            for chunk in _bucketed_batches(lengths, order, size):
-                pooled = model.encode_pooled([flat[i][1] for i in chunk])
-                for i, mapping in zip(chunk, pooled):
-                    mappings[i] = mapping
-                self.stats.batches += 1
+                flat = [(fp, seq) for fp, seqs in pending for seq in seqs]
+                lengths = [len(seq) for _fp, seq in flat]
+                order = sorted(range(len(flat)), key=lengths.__getitem__)
+                mappings: list[dict | None] = [None] * len(flat)
+                chunks = _bucketed_batches(lengths, order, size)
+                if workers is not None and workers > 1 and len(chunks) > 1:
+                    if pool is None:
+                        # One pool for the whole call: the models pickle
+                        # into each worker once, then tasks are cheap.
+                        pool = ProcessPoolExecutor(
+                            max_workers=workers, initializer=_init_worker,
+                            initargs=(self.models,))
+                    futures = [pool.submit(_encode_batch, segment,
+                                           [flat[i][1] for i in chunk])
+                               for chunk in chunks]
+                    batched = (future.result() for future in futures)
+                else:
+                    model = self.models[segment]
+                    batched = (model.encode_pooled([flat[i][1] for i in chunk])
+                               for chunk in chunks)
+                for chunk, pooled in zip(chunks, batched):
+                    for i, mapping in zip(chunk, pooled):
+                        mappings[i] = mapping
+                    self.stats.batches += 1
 
-            out_by_fp: dict[str, list[tuple]] = {fp: [] for fp, _ in pending}
-            for (fp, seq), mapping in zip(flat, mappings):
-                for idx, vector in mapping.items():
-                    out_by_fp[fp].append((seq.cell_refs[idx], vector))
-            for fp, out in out_by_fp.items():
-                self._cache[(fp, segment)] = out
-            encoded += len(pending)
-            self.stats.tables_encoded += len(pending)
-            self.stats.sequences_encoded += len(flat)
+                out_by_fp: dict[str, list[tuple]] = {fp: [] for fp, _ in pending}
+                for (fp, seq), mapping in zip(flat, mappings):
+                    for idx, vector in mapping.items():
+                        out_by_fp[fp].append((seq.cell_refs[idx], vector))
+                for fp, out in out_by_fp.items():
+                    self._cache[(fp, segment)] = out
+                encoded += len(pending)
+                self.stats.tables_encoded += len(pending)
+                self.stats.sequences_encoded += len(flat)
+        finally:
+            if pool is not None:
+                pool.shutdown()
         return encoded

@@ -42,6 +42,10 @@ class CosineLSH:
         self._pows = 1 << np.arange(n_planes, dtype=np.int64)
         self._tables: list[dict[int, list[int]]] = [dict() for _ in range(n_bands)]
         self._vectors: list[np.ndarray] = []
+        # Tombstoned ids: dropped from band buckets on remove() but kept
+        # in _vectors so ids stay positional until a caller-side rebuild
+        # (see VectorIndex.compact) reclaims the slots.
+        self._removed: set[int] = set()
 
     def _keys(self, vector: np.ndarray) -> list[int]:
         signs = (self.planes @ np.asarray(vector, float)) > 0  # (bands, planes)
@@ -82,11 +86,50 @@ class CosineLSH:
                 table.setdefault(key, []).append(start + offset)
         return list(range(start, start + len(matrix)))
 
+    def remove(self, idx: int) -> None:
+        """Tombstone id ``idx``: drop it from every band bucket so it can
+        never be a candidate (or a brute-force fallback hit) again.
+
+        The stored vector stays in place — ids are positional, so
+        reclaiming the slot is the caller's compaction step.  Removing an
+        unknown or already-removed id raises ``KeyError``.
+        """
+        if not 0 <= idx < len(self._vectors) or idx in self._removed:
+            raise KeyError(f"no live vector with id {idx}")
+        for table, key in zip(self._tables, self._keys(self._vectors[idx])):
+            bucket = table.get(key)
+            if bucket is not None and idx in bucket:
+                bucket.remove(idx)
+                if not bucket:
+                    del table[key]
+        self._removed.add(idx)
+
+    @property
+    def removed(self) -> frozenset[int]:
+        """Ids tombstoned by :meth:`remove` (read-only view)."""
+        return frozenset(self._removed)
+
+    @property
+    def n_live(self) -> int:
+        """Number of indexed vectors that have not been removed."""
+        return len(self._vectors) - len(self._removed)
+
+    def live_ids(self) -> list[int]:
+        """All non-tombstoned ids in insertion order."""
+        return [i for i in range(len(self._vectors)) if i not in self._removed]
+
     def candidates(self, vector: np.ndarray) -> set[int]:
         """Ids sharing at least one band bucket with ``vector``."""
         out: set[int] = set()
         for table, key in zip(self._tables, self._keys(vector)):
             out.update(table.get(key, ()))
+        # Belt and braces: remove() purges buckets by recomputing the
+        # stored vector's band keys, but bulk inserts hash through a
+        # different matmul shape (_key_matrix) — a last-bit rounding
+        # difference at a sign boundary could leave a tombstoned id in
+        # its original bucket.  Filtering here makes "removed ids are
+        # never candidates" unconditional.
+        out.difference_update(self._removed)
         return out
 
     def __len__(self) -> int:
@@ -116,7 +159,9 @@ class CosineLSH:
         if exclude is not None:
             cands.discard(exclude)
         if len(cands) < k:
-            cands = set(range(len(self._vectors)))
+            # Brute force must skip tombstones too: removed ids are gone
+            # from the band buckets but their vectors still occupy slots.
+            cands = set(self.live_ids())
             if exclude is not None:
                 cands.discard(exclude)
         scored = [(i, cosine_similarity(vector, self._vectors[i])) for i in cands]

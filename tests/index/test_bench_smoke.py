@@ -1,24 +1,28 @@
-"""Smoke test for the index-throughput benchmark harness.
+"""Smoke tests for the index benchmark harnesses.
 
-Loads ``benchmarks/bench_index_throughput.py`` by path (the benchmarks
-directory is not a package) and runs a miniature configuration, checking
-the report has the ``BENCH_*.json`` tracking shape and serializes.
+Loads the ``benchmarks/bench_index_*.py`` scripts by path (the
+benchmarks directory is not a package) and runs miniature
+configurations, checking the reports have the ``BENCH_*.json`` tracking
+shape and serialize.
 """
 
 import importlib.util
 import json
 from pathlib import Path
 
-BENCH_PATH = (Path(__file__).resolve().parents[2]
-              / "benchmarks" / "bench_index_throughput.py")
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+BENCH_PATH = BENCH_DIR / "bench_index_throughput.py"
 
 
-def load_bench_module():
-    spec = importlib.util.spec_from_file_location("bench_index_throughput",
-                                                  BENCH_PATH)
+def load_module(name: str):
+    spec = importlib.util.spec_from_file_location(name, BENCH_DIR / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def load_bench_module():
+    return load_module("bench_index_throughput")
 
 
 def test_bench_smoke(tmp_path):
@@ -37,3 +41,25 @@ def test_bench_smoke(tmp_path):
     # The rendered table mentions every mode.
     text = bench.render(report).to_text()
     assert "per-table" in text and "batch=4" in text
+
+
+def test_bench_lifecycle_smoke(tmp_path):
+    bench = load_module("bench_index_lifecycle")
+    report = bench.run(n_vectors=200, dim=16, n_tables=4, vocab_size=200,
+                       worker_counts=(2,), repeats=1)
+    assert report["benchmark"] == "index_lifecycle"
+    assert report["config"]["n_vectors"] == 200
+    ops = [r["op"] for r in report["results"]]
+    assert ops == ["add_batch", "remove", "query+tombstones", "compact",
+                   "query compacted", "merge",
+                   "encode serial", "encode workers=2"]
+    for record in report["results"]:
+        assert record["seconds"] >= 0
+        assert record["n"] > 0
+    # compact reclaimed exactly what remove tombstoned
+    by_op = {r["op"]: r for r in report["results"]}
+    assert by_op["compact"]["n"] == by_op["remove"]["n"]
+    # JSON-serializable, as the BENCH_*.json tracking requires.
+    (tmp_path / "BENCH_index_lifecycle.json").write_text(json.dumps(report))
+    text = bench.render(report).to_text()
+    assert "compact" in text and "encode workers=2" in text

@@ -103,6 +103,16 @@ class TestIndex:
                      "--index", str(built), "--table", "0",
                      "--column", "99"]) == 2
 
+    def test_build_invalid_workers_rejected_up_front(self, tmp_path, capsys):
+        """Bad --workers must fail before the expensive train step, with
+        the CLI's stderr + exit-2 contract rather than a traceback."""
+        code = main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--out", str(tmp_path / "idx"),
+                     "--workers", "0"])
+        assert code == 2
+        assert "--workers must be positive" in capsys.readouterr().err
+        assert not (tmp_path / "idx").exists()
+
     def test_build_empty_corpus_rejected(self, tmp_path, capsys):
         code = main(["index", "build", "cancerkg", "--n-tables", "0",
                      "--steps", "0", "--out", str(tmp_path / "idx")])
@@ -116,3 +126,173 @@ class TestIndex:
                      "--index", str(built), "--table", "0"])
         assert code == 2
         assert "built from" in capsys.readouterr().err
+
+    def test_build_with_workers_matches_serial(self, built, tmp_path, capsys):
+        """--workers only changes the executor: the saved indexes must be
+        byte-for-byte interchangeable with a serial build."""
+        import numpy as np
+
+        from repro.index import load_index
+
+        out = tmp_path / "par"
+        code = main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(out), "--workers", "2"])
+        assert code == 0
+        assert "2 workers" in capsys.readouterr().out
+        serial = load_index(built / "tables.npz")
+        parallel = load_index(out / "tables.npz")
+        assert serial.keys == parallel.keys
+        assert (serial.lsh.vectors() == parallel.lsh.vectors()).all()
+
+
+class TestIndexLifecycleCLI:
+    """`index rm` / `index compact` / `index merge` end-to-end on a tmp
+    corpus, including the error paths."""
+
+    @pytest.fixture(scope="class")
+    def built(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("lifecycle") / "idx"
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(out)]) == 0
+        return out
+
+    @pytest.fixture()
+    def tables_npz(self, built, tmp_path):
+        """A throwaway copy of the built table index, so destructive
+        subcommands can't leak between tests."""
+        import shutil
+
+        copy = tmp_path / "tables.npz"
+        shutil.copy(built / "tables.npz", copy)
+        return copy
+
+    @staticmethod
+    def corpus_key(position: int) -> str:
+        from repro.datasets import load_dataset
+        from repro.index import table_fingerprint
+
+        tables = load_dataset("cancerkg", n_tables=6, seed=0)
+        return table_fingerprint(tables[position])
+
+    def test_rm_tombstones_and_persists(self, tables_npz, capsys):
+        from repro.index import load_index
+
+        key = self.corpus_key(0)
+        assert main(["index", "rm", str(tables_npz), key]) == 0
+        assert "1 tombstoned" in capsys.readouterr().out
+        index = load_index(tables_npz)
+        assert key not in index
+        assert index.n_tombstones == 1 and len(index) == 5
+
+    def test_rm_compact_flag_reclaims(self, tables_npz, capsys):
+        from repro.index import load_index
+
+        key = self.corpus_key(1)
+        assert main(["index", "rm", str(tables_npz), key, "--compact"]) == 0
+        index = load_index(tables_npz)
+        assert index.n_tombstones == 0 and len(index) == 5
+
+    def test_rm_missing_key_errors_without_mutating(self, tables_npz, capsys):
+        from repro.index import load_index
+
+        code = main(["index", "rm", str(tables_npz), self.corpus_key(0),
+                     "no-such-fingerprint"])
+        assert code == 2
+        assert "not in index" in capsys.readouterr().err
+        assert len(load_index(tables_npz)) == 6     # untouched
+
+    def test_rm_missing_file_errors(self, tmp_path, capsys):
+        assert main(["index", "rm", str(tmp_path / "ghost.npz"), "k"]) == 2
+        assert "no index file" in capsys.readouterr().err
+
+    def test_compact_round_trip(self, tables_npz, capsys):
+        from repro.index import load_index
+
+        main(["index", "rm", str(tables_npz), self.corpus_key(2)])
+        capsys.readouterr()
+        assert main(["index", "compact", str(tables_npz)]) == 0
+        assert "reclaimed 1" in capsys.readouterr().out
+        assert load_index(tables_npz).n_tombstones == 0
+
+    def test_query_after_rm_never_returns_removed(self, built, tmp_path,
+                                                  capsys, monkeypatch):
+        """Full loop: rm via CLI, then query via CLI on the same corpus —
+        the removed table's caption must be gone from the ranking."""
+        import shutil
+
+        from repro.datasets import load_dataset
+
+        index_dir = tmp_path / "idx"
+        shutil.copytree(built, index_dir)
+        removed = load_dataset("cancerkg", n_tables=6, seed=0)[2]
+        main(["index", "rm", str(index_dir / "tables.npz"),
+              self.corpus_key(2)])
+        capsys.readouterr()
+        assert main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(index_dir), "--table", "0",
+                     "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert removed.caption not in out
+
+    def test_merge_dedupes(self, built, tables_npz, tmp_path, capsys):
+        from repro.index import load_index
+
+        merged = tmp_path / "merged.npz"
+        assert main(["index", "merge", str(tables_npz),
+                     str(built / "tables.npz"), "--out", str(merged)]) == 0
+        assert "fingerprint-deduped" in capsys.readouterr().out
+        assert len(load_index(merged)) == 6         # full overlap
+
+    def test_merge_disjoint_after_rm(self, built, tmp_path, capsys):
+        from repro.index import load_index
+
+        left = tmp_path / "left.npz"
+        import shutil
+
+        shutil.copy(built / "tables.npz", left)
+        main(["index", "rm", str(left), self.corpus_key(0),
+              self.corpus_key(1), "--compact"])
+        capsys.readouterr()
+        merged = tmp_path / "merged.npz"
+        assert main(["index", "merge", str(left), str(built / "tables.npz"),
+                     "--out", str(merged)]) == 0
+        assert len(load_index(merged)) == 6         # removed pair restored
+
+    def test_merge_incompatible_params_errors(self, built, tmp_path, capsys):
+        code = main(["index", "merge", str(built / "tables.npz"),
+                     str(built / "columns.npz"),
+                     "--out", str(tmp_path / "bad.npz")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot merge" in err and "incompatible" in err
+        assert not (tmp_path / "bad.npz").exists()
+
+    def test_merge_missing_input_errors(self, built, tmp_path, capsys):
+        assert main(["index", "merge", str(built / "tables.npz"),
+                     str(tmp_path / "ghost.npz"),
+                     "--out", str(tmp_path / "m.npz")]) == 2
+        assert "no index file" in capsys.readouterr().err
+
+    def test_merge_single_input_rejected(self, built, tmp_path, capsys):
+        """One path would silently copy instead of merging."""
+        assert main(["index", "merge", str(built / "tables.npz"),
+                     "--out", str(tmp_path / "m.npz")]) == 2
+        assert "at least two" in capsys.readouterr().err
+        assert not (tmp_path / "m.npz").exists()
+
+    def test_merge_different_checkpoints_rejected(self, built, tmp_path,
+                                                  capsys):
+        """Indexes built from different trained models share dim and
+        variant but not an embedding space — merging must refuse."""
+        other = tmp_path / "other"
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "1", "--vocab-size", "300", "--seed", "0",
+                     "--out", str(other)]) == 0
+        capsys.readouterr()
+        code = main(["index", "merge", str(built / "tables.npz"),
+                     str(other / "tables.npz"),
+                     "--out", str(tmp_path / "m.npz")])
+        assert code == 2
+        assert "model_id" in capsys.readouterr().err
