@@ -1,0 +1,130 @@
+"""Sharded fan-out query latency vs. a single-file index.
+
+One synthetic corpus of seeded gaussian vectors, indexed three ways —
+one big :class:`~repro.index.index.VectorIndex` and
+:class:`~repro.index.sharded.ShardedIndex` layouts at each configured
+shard count — then the same query batch is timed against every layout.
+The sharded path must return byte-identical rankings (that equivalence
+is asserted, not just measured), so the numbers isolate pure fan-out +
+heap-merge overhead; ``build`` wall-clock and a ``rebalance`` timing
+ride along for the ops picture.
+
+Results are written to ``results/BENCH_sharded_query.json`` in the
+shared ``BENCH_*.json`` tracking shape (benchmark name, config, one
+record per op/mode) so successive runs can be diffed.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_sharded_query.py``)
+or via the smoke test in ``tests/index/test_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.eval import ResultsTable, results_dir
+from repro.index import IndexSpec, ShardedIndex, VectorIndex
+
+SHARD_COUNTS = (2, 5)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def run(n_vectors: int = 5000, dim: int = 64, n_queries: int = 100,
+        k: int = 10, shard_counts: tuple[int, ...] = SHARD_COUNTS,
+        seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n_vectors, dim))
+    queries = rng.standard_normal((n_queries, dim))
+    keys = [f"k{i:06d}" for i in range(n_vectors)]
+    records = []
+
+    def build_single():
+        index = VectorIndex(dim=dim, seed=seed)
+        index.add_batch(keys, vectors)
+        return index
+
+    seconds, single = _timed(build_single)
+    records.append({"op": "build", "mode": "single", "n": n_vectors,
+                    "seconds": seconds,
+                    "per_sec": n_vectors / seconds if seconds else None})
+
+    def query_all(index):
+        return [index.query_vector(q, k=k) for q in queries]
+
+    seconds, baseline = _timed(lambda: query_all(single))
+    records.append({"op": "query", "mode": "single", "n": n_queries,
+                    "seconds": seconds,
+                    "per_sec": n_queries / seconds if seconds else None})
+    want = [[(h.key, round(h.score, 9)) for h in hits] for hits in baseline]
+
+    for n_shards in shard_counts:
+        def build_sharded():
+            sharded = ShardedIndex.create(
+                IndexSpec(kind="vector", dim=dim, seed=seed), n_shards)
+            sharded.add_batch(keys, vectors)
+            return sharded
+
+        seconds, sharded = _timed(build_sharded)
+        records.append({"op": "build", "mode": f"shards={n_shards}",
+                        "n": n_vectors, "seconds": seconds,
+                        "per_sec": n_vectors / seconds if seconds else None})
+
+        seconds, fanned = _timed(lambda: query_all(sharded))
+        got = [[(h.key, round(h.score, 9)) for h in hits] for hits in fanned]
+        if got != want:
+            raise AssertionError(
+                f"sharded (shards={n_shards}) rankings diverged from the "
+                f"single index — fan-out merge is broken, timings are "
+                f"meaningless")
+        records.append({"op": "query", "mode": f"shards={n_shards}",
+                        "n": n_queries, "seconds": seconds,
+                        "per_sec": n_queries / seconds if seconds else None})
+
+        seconds, moved = _timed(lambda: sharded.rebalance(n_shards + 1))
+        records.append({"op": "rebalance", "mode": f"shards={n_shards}->"
+                        f"{n_shards + 1}", "n": moved, "seconds": seconds,
+                        "per_sec": moved / seconds if seconds else None})
+
+    return {
+        "benchmark": "sharded_query",
+        "config": {"n_vectors": n_vectors, "dim": dim,
+                   "n_queries": n_queries, "k": k,
+                   "shard_counts": list(shard_counts), "seed": seed},
+        "results": records,
+    }
+
+
+def render(report: dict) -> ResultsTable:
+    config = report["config"]
+    out = ResultsTable(
+        f"Sharded query fan-out: {config['n_vectors']} vectors (dim "
+        f"{config['dim']}), {config['n_queries']} queries @ k={config['k']}",
+        columns=["n", "seconds", "ops/sec"])
+    for record in report["results"]:
+        row = f"{record['op']} {record['mode']}"
+        out.add(row, "n", record["n"])
+        out.add(row, "seconds", f"{record['seconds']:.3f}")
+        per_sec = record["per_sec"]
+        out.add(row, "ops/sec",
+                f"{per_sec:.1f}" if per_sec is not None else "-")
+    return out
+
+
+def main() -> int:
+    report = run()
+    render(report).show()
+    path = results_dir() / "BENCH_sharded_query.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"Wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

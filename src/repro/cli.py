@@ -10,14 +10,21 @@ Subcommands::
     python -m repro.cli index build <dataset> --out DIR    batch-encode the
                                                            corpus into table +
                                                            column indexes
+                                                           (--shards N emits
+                                                           the sharded layout)
     python -m repro.cli index query <dataset> --index DIR  top-k neighbours of
                                                            a table (or one of
                                                            its columns)
-    python -m repro.cli index rm      <index.npz> KEY...   tombstone entries
-    python -m repro.cli index compact <index.npz>          reclaim tombstones
+    python -m repro.cli index rm      <index> KEY...       tombstone entries
+    python -m repro.cli index compact <index>              reclaim tombstones
     python -m repro.cli index merge   --out OUT A B...     merge saved indexes
                                                            (dedupes by
                                                            fingerprint)
+
+Saved indexes are opened through :func:`repro.index.open_index`, so
+every lifecycle command accepts either layout — a single ``.npz`` file
+or a sharded directory (``MANIFEST.json`` + ``shard-XXXX.npz``) —
+transparently; ``merge`` keeps the first input's layout.
 
 Datasets are the five generated corpora (webtables, covidkg, cancerkg,
 saus, cius); all runs are seeded and CPU-sized.
@@ -146,11 +153,14 @@ def _load_or_train(args: argparse.Namespace, tables) -> TabBiNEmbedder:
 def cmd_index_build(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from .index import ColumnIndex, TableIndex
+    from .index import ColumnIndex, TableIndex, save_index
 
     if args.workers is not None and args.workers <= 0:
         # Validate before the (expensive) train/load step.
         print("--workers must be positive", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be at least 1", file=sys.stderr)
         return 2
     tables = load_dataset(args.dataset, n_tables=args.n_tables, seed=args.seed)
     if not tables:
@@ -166,32 +176,55 @@ def cmd_index_build(args: argparse.Namespace) -> int:
           f"(batch size {args.batch_size}, {mode}) ...")
     corpus_id = {"dataset": args.dataset, "n_tables": args.n_tables,
                  "seed": args.seed}
-    table_index = TableIndex.build(embedder, tables, variant=args.variant,
-                                   seed=args.seed, batch_size=args.batch_size,
-                                   workers=args.workers)
-    column_index = ColumnIndex.build(embedder, tables, seed=args.seed,
-                                     batch_size=args.batch_size,
-                                     workers=args.workers)
+    if args.shards is not None:
+        table_index = TableIndex.build_sharded(
+            embedder, tables, shards=args.shards, variant=args.variant,
+            seed=args.seed, batch_size=args.batch_size, workers=args.workers)
+        column_index = ColumnIndex.build_sharded(
+            embedder, tables, shards=args.shards, seed=args.seed,
+            batch_size=args.batch_size, workers=args.workers)
+        table_path, column_path = out / "tables", out / "columns"
+    else:
+        table_index = TableIndex.build(embedder, tables, variant=args.variant,
+                                       seed=args.seed,
+                                       batch_size=args.batch_size,
+                                       workers=args.workers)
+        column_index = ColumnIndex.build(embedder, tables, seed=args.seed,
+                                         batch_size=args.batch_size,
+                                         workers=args.workers)
+        table_path, column_path = out / "tables.npz", out / "columns.npz"
     table_index.corpus = dict(corpus_id)
     column_index.corpus = dict(corpus_id)
-    table_index.save(out / "tables.npz")
-    column_index.save(out / "columns.npz")
+    for name in ("tables", "columns"):
+        # The suffixless logical path: the sharded dir lives there, the
+        # single-file layout appends .npz.
+        _remove_stale_layout(out / name, sharded=args.shards is not None)
+    save_index(table_index, table_path)
+    save_index(column_index, column_path)
     stats = embedder.store.stats
     summary = ResultsTable(f"Index built: {args.dataset}", columns=["value"])
     summary.add("tables indexed", "value", len(table_index))
     summary.add("columns indexed", "value", len(column_index))
+    if args.shards is not None:
+        summary.add("shards", "value", args.shards)
+        summary.add("shard sizes (tables)", "value",
+                    "/".join(str(n) for n in table_index.shard_sizes()))
     summary.add("encoder batches", "value", stats.batches)
     summary.add("sequences encoded", "value", stats.sequences_encoded)
     summary.show()
-    print(f"Saved model + indexes to {out}")
+    layout = "sharded" if args.shards is not None else "single-file"
+    print(f"Saved model + {layout} indexes to {out}")
     return 0
 
 
 def cmd_index_query(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from .index import ColumnIndex, TableIndex
+    from .index import open_index
 
+    if args.k < 1:
+        print("-k/--k must be at least 1", file=sys.stderr)
+        return 2
     tables = load_dataset(args.dataset, n_tables=args.n_tables, seed=args.seed)
     if not 0 <= args.table < len(tables):
         print(f"--table must be in [0, {len(tables)})", file=sys.stderr)
@@ -201,15 +234,24 @@ def cmd_index_query(args: argparse.Namespace) -> int:
         print(f"--column must be in [0, {table.n_cols})", file=sys.stderr)
         return 2
     index_dir = Path(args.index)
+    wanted = "column" if args.column is not None else "table"
     try:
         embedder = TabBiNEmbedder.load(index_dir / "model", TabBiNConfig.small())
-        if args.column is not None:
-            index = ColumnIndex.load(index_dir / "columns.npz")
-        else:
-            index = TableIndex.load(index_dir / "tables.npz")
+        # open_index sniffs the layout, so `tables` resolves to either
+        # the sharded `tables/` directory or the single `tables.npz`.
+        index = open_index(index_dir / f"{wanted}s")
     except FileNotFoundError:
         print(f"no index at {index_dir} (run `index build ... --out "
               f"{index_dir}` first)", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        # e.g. a file/manifest from a newer format version — same
+        # stderr + exit-2 contract as the lifecycle commands.
+        print(str(error), file=sys.stderr)
+        return 2
+    if index.kind != wanted:
+        print(f"{index_dir} holds a {index.kind!r} index, expected "
+              f"{wanted!r}", file=sys.stderr)
         return 2
     built_from = index.corpus
     asked = {"dataset": args.dataset, "n_tables": args.n_tables,
@@ -236,22 +278,44 @@ def cmd_index_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_saved_index(path: str):
-    """Load one saved ``.npz`` index for a lifecycle command, mapping the
-    usual failure modes to a printed error + ``None``."""
-    from .index import load_index
+def _remove_stale_layout(path, sharded: bool) -> None:
+    """Remove the *other* layout's artifact at an output path before
+    saving: a leftover manifest directory would out-sniff a fresh
+    ``.npz`` in ``open_index`` (silently serving stale results), and a
+    leftover file blocks creating the shard directory.  Only artifacts
+    this CLI writes are touched — a directory without a manifest is
+    left alone (the save will fail loudly instead)."""
+    import shutil
+    from pathlib import Path
+
+    path = Path(path)
+    if sharded:
+        if path.is_file():
+            path.unlink()
+        sibling = path.with_name(path.name + ".npz")
+        if sibling.is_file():
+            sibling.unlink()
+    elif (path / "MANIFEST.json").is_file():
+        shutil.rmtree(path)
+
+
+def _open_index_or_report(path: str):
+    """Open one saved index (either layout) for a lifecycle command,
+    mapping the usual failure modes to a printed error + ``None``.  All
+    sniffing, version checks and error wording live in
+    :func:`repro.index.open_index`; this only adapts exceptions to the
+    CLI's stderr + exit-code contract."""
+    from .index import open_index
 
     try:
-        return load_index(path)
-    except FileNotFoundError:
-        print(f"no index file at {path}", file=sys.stderr)
-    except ValueError as error:
+        return open_index(path)
+    except (FileNotFoundError, ValueError) as error:
         print(str(error), file=sys.stderr)
     return None
 
 
 def cmd_index_rm(args: argparse.Namespace) -> int:
-    index = _load_saved_index(args.path)
+    index = _open_index_or_report(args.path)
     if index is None:
         return 2
     keys = list(dict.fromkeys(args.keys))    # drop repeated CLI keys
@@ -270,7 +334,7 @@ def cmd_index_rm(args: argparse.Namespace) -> int:
 
 
 def cmd_index_compact(args: argparse.Namespace) -> int:
-    index = _load_saved_index(args.path)
+    index = _open_index_or_report(args.path)
     if index is None:
         return 2
     dropped = index.compact()
@@ -285,12 +349,12 @@ def cmd_index_merge(args: argparse.Namespace) -> int:
         print("index merge needs at least two input indexes",
               file=sys.stderr)
         return 2
-    merged = _load_saved_index(args.paths[0])
+    merged = _open_index_or_report(args.paths[0])
     if merged is None:
         return 2
     total_added = 0
     for path in args.paths[1:]:
-        other = _load_saved_index(path)
+        other = _open_index_or_report(path)
         if other is None:
             return 2
         try:
@@ -298,6 +362,11 @@ def cmd_index_merge(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"cannot merge {path}: {error}", file=sys.stderr)
             return 2
+    from .index import ShardedIndex
+
+    # Re-merging to the same --out with a different first-input layout
+    # must replace the old artifact, not coexist with (and lose to) it.
+    _remove_stale_layout(args.out, sharded=isinstance(merged, ShardedIndex))
     merged.save(args.out)
     print(f"Merged {len(args.paths)} indexes into {args.out}: "
           f"{len(merged)} entries ({total_added} added beyond the first "
@@ -359,6 +428,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--workers", type=int, default=None,
                          help="scatter encoder batches across N processes "
                               "(results identical to serial; default serial)")
+    p_build.add_argument("--shards", type=int, default=None,
+                         help="emit a sharded directory layout with N shards "
+                              "(MANIFEST.json + shard-XXXX.npz) instead of "
+                              "one .npz per index")
     p_build.set_defaults(func=cmd_index_build)
 
     p_query = index_sub.add_parser("query", help="top-k neighbours from a "
@@ -375,7 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rm = index_sub.add_parser("rm", help="tombstone entries of a saved "
                                            "index by key")
-    p_rm.add_argument("path", help="path to a saved index .npz")
+    p_rm.add_argument("path", help="saved index (.npz file or sharded dir)")
     p_rm.add_argument("keys", nargs="+", metavar="KEY",
                       help="fingerprint keys to remove")
     p_rm.add_argument("--compact", action="store_true",
@@ -384,14 +457,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_compact = index_sub.add_parser("compact", help="rebuild a saved index "
                                                      "without its tombstones")
-    p_compact.add_argument("path", help="path to a saved index .npz")
+    p_compact.add_argument("path", help="saved index (.npz file or sharded "
+                                        "dir)")
     p_compact.set_defaults(func=cmd_index_compact)
 
     p_merge = index_sub.add_parser("merge", help="merge saved indexes "
                                                  "(fingerprint-deduped)")
     p_merge.add_argument("paths", nargs="+", metavar="PATH",
-                         help="two or more saved index .npz files")
-    p_merge.add_argument("--out", required=True, help="output .npz path")
+                         help="two or more saved indexes (.npz files or "
+                              "sharded dirs, mixable)")
+    p_merge.add_argument("--out", required=True,
+                         help="output path (written in the first input's "
+                              "layout)")
     p_merge.set_defaults(func=cmd_index_merge)
     return parser
 

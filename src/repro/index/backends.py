@@ -1,0 +1,161 @@
+"""Pluggable index storage backends and the ``open_index`` facade.
+
+Two on-disk layouts, one entry point:
+
+- **Single file** (:class:`SingleFileBackend`) — the versioned ``.npz``
+  :meth:`VectorIndex.save` writes.  Fully backward compatible: v1 files
+  (pre-lifecycle, no ``format_version``/tombstones) and v2 files load
+  unchanged.
+- **Sharded directory** (:class:`ShardedDirBackend`) — a directory
+  holding ``MANIFEST.json`` plus ``shard-0000.npz``, ``shard-0001.npz``,
+  ... where every shard is itself a normal single-file index.  The
+  manifest records the shared :class:`~repro.index.spec.IndexSpec`, the
+  shard count, and per-shard entry/tombstone counts::
+
+      {
+        "manifest_version": 1,
+        "spec": {"kind": ..., "dim": ..., "n_planes": ..., "n_bands": ...,
+                 "seed": ..., "model_id": ..., "corpus": {...},
+                 ...kind-specific extras (variant / composite)},
+        "n_shards": N,
+        "shards": [{"file": "shard-0000.npz", "entries": n,
+                    "tombstones": t}, ...]
+      }
+
+:func:`open_index` sniffs which layout a path is (directory with a
+manifest vs. ``.npz`` file, including the appended-suffix fallback) and
+returns the right object — a :class:`~repro.index.index.VectorIndex`
+subclass or a :class:`~repro.index.sharded.ShardedIndex`, which share
+the query/lifecycle surface.  It is the **only** load entry point the
+CLI uses, so error messages and format-version checks live here and in
+``VectorIndex.load`` alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from .index import VectorIndex
+from .sharded import ShardedIndex
+from .spec import IndexSpec
+
+#: File that marks a directory as a sharded index layout.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Version stamp of the manifest schema.  Newer manifests are rejected
+#: with a clear error instead of being silently mis-read.
+MANIFEST_VERSION = 1
+
+#: Shard filename pattern (``shard-0000.npz``, ...).
+SHARD_TEMPLATE = "shard-{:04d}.npz"
+
+
+@runtime_checkable
+class IndexBackend(Protocol):
+    """One on-disk layout: sniffing, loading and saving."""
+
+    def handles(self, path: Path) -> bool:
+        """Whether ``path`` looks like this backend's layout."""
+        ...
+
+    def load(self, path: Path):
+        """Load the index stored at ``path``."""
+        ...
+
+    def save(self, index, path: Path) -> Path:
+        """Persist ``index`` at ``path``; returns the written root."""
+        ...
+
+
+class SingleFileBackend:
+    """Today's versioned ``.npz`` layout (v1 and v2 files)."""
+
+    def handles(self, path: Path) -> bool:
+        return (path.is_file()
+                or path.with_name(path.name + ".npz").is_file())
+
+    def load(self, path: Path) -> VectorIndex:
+        return VectorIndex.load(path)
+
+    def save(self, index: VectorIndex, path: Path) -> Path:
+        return index.save(path)
+
+
+class ShardedDirBackend:
+    """Directory layout: ``MANIFEST.json`` + one ``.npz`` per shard."""
+
+    def handles(self, path: Path) -> bool:
+        return (path / MANIFEST_NAME).is_file()
+
+    def load(self, path: Path) -> ShardedIndex:
+        path = Path(path)
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        version = manifest.get("manifest_version", 1)
+        if version > MANIFEST_VERSION:
+            raise ValueError(f"{path} uses manifest v{version}; this build "
+                             f"reads up to v{MANIFEST_VERSION}")
+        spec = IndexSpec.from_params(manifest["spec"])
+        shards = [VectorIndex.load(path / entry["file"])
+                  for entry in manifest["shards"]]
+        # ShardedIndex.__init__ re-validates kind/dim per shard, so a
+        # hand-edited manifest cannot smuggle mismatched shards in.
+        return ShardedIndex(spec, shards)
+
+    def save(self, index: ShardedIndex, path: Path) -> Path:
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        entries = []
+        for position, shard in enumerate(index.shards):
+            filename = SHARD_TEMPLATE.format(position)
+            shard.save(path / filename)
+            entries.append({"file": filename, "entries": len(shard),
+                            "tombstones": shard.n_tombstones})
+        # Rebalancing to fewer shards must not leave orphan files that a
+        # later manifest rewrite could resurrect.
+        kept = {entry["file"] for entry in entries}
+        for stale in path.glob("shard-*.npz"):
+            if stale.name not in kept:
+                stale.unlink()
+        manifest = {"manifest_version": MANIFEST_VERSION,
+                    "spec": index.spec.to_params(),
+                    "n_shards": len(index.shards), "shards": entries}
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2)
+                                          + "\n")
+        return path
+
+
+#: Sniffing order: the manifest is an unambiguous marker, so the
+#: sharded backend goes first; the single-file backend then claims any
+#: existing file (or appended-``.npz`` sibling).
+BACKENDS: tuple[IndexBackend, ...] = (ShardedDirBackend(),
+                                      SingleFileBackend())
+
+
+def open_index(path: str | Path) -> VectorIndex | ShardedIndex:
+    """Open a saved index of either layout.
+
+    Returns a :class:`VectorIndex` subclass for single ``.npz`` files
+    (legacy v1 and v2 formats included) or a :class:`ShardedIndex` for
+    manifest directories.  Both expose the same query/lifecycle surface
+    (``query_vector``, ``remove``, ``compact``, ``merge``, ``save``),
+    so callers need not care which layout they got.
+    """
+    path = Path(path)
+    for backend in BACKENDS:
+        if backend.handles(path):
+            return backend.load(path)
+    if path.is_dir():
+        raise FileNotFoundError(
+            f"{path} is a directory without {MANIFEST_NAME} — not a "
+            f"sharded index layout")
+    raise FileNotFoundError(f"no index file at {path}")
+
+
+def save_index(index: VectorIndex | ShardedIndex, path: str | Path) -> Path:
+    """Persist ``index`` in its natural layout (single file for
+    ``VectorIndex``, manifest directory for ``ShardedIndex``)."""
+    backend = (ShardedDirBackend() if isinstance(index, ShardedIndex)
+               else SingleFileBackend())
+    return backend.save(index, Path(path))

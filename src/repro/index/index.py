@@ -186,61 +186,116 @@ class VectorIndex:
         """Fold ``other``'s live entries into this index, deduping by
         key (fingerprints, so equal-content tables merge to one entry).
         Returns the number of entries actually added; incompatible
-        parameters (see :meth:`_merge_signature`) raise ``ValueError``."""
-        mine, theirs = self._merge_signature(), other._merge_signature()
-        if mine.get("model_id") is None or theirs.get("model_id") is None:
-            # An unknown checkpoint (hand-built index, pre-v2 file) is a
-            # wildcard; only two *different known* checkpoints conflict.
-            mine.pop("model_id", None)
-            theirs.pop("model_id", None)
-        if mine != theirs:
-            diff = {name: (mine.get(name), theirs.get(name))
-                    for name in mine.keys() | theirs.keys()
-                    if mine.get(name) != theirs.get(name)}
-            raise ValueError(f"cannot merge incompatible indexes: {diff}")
-        incoming = other.live_items()
-        before = len(self)
-        if incoming:
-            self.add_batch([key for key, _vec, _meta in incoming],
-                           np.stack([vec for _key, vec, _meta in incoming]),
-                           [dict(meta) for _key, _vec, meta in incoming])
-        if self.model_id is None:
-            # Adopt the known checkpoint so a later merge with a *third*
-            # checkpoint is refused instead of wildcarded through.
-            self.model_id = other.model_id
-        self._merge_corpus_stamp(other)
-        return len(self) - before
+        parameters (see :meth:`_merge_signature`) raise ``ValueError``.
 
-    def _merge_corpus_stamp(self, other: "VectorIndex") -> None:
-        """Union the corpus provenance: a merged multi-corpus index must
-        not keep the first shard's stamp verbatim (downstream provenance
-        checks would accept queries from one shard's corpus and reject
-        the other's)."""
-        if self.corpus == other.corpus:
-            return
-
-        def provenances(stamp: dict) -> list[dict]:
-            if not stamp:
-                return []
-            return list(stamp.get("merged_from", [stamp]))
-
-        combined: list[dict] = []
-        for stamp in provenances(self.corpus) + provenances(other.corpus):
-            if stamp not in combined:
-                combined.append(stamp)
-        self.corpus = {"merged_from": combined} if combined else {}
+        ``other`` may be any object with the live-entry surface —
+        including a :class:`~repro.index.sharded.ShardedIndex` — so the
+        CLI can merge across layouts."""
+        return merge_into(self, other)
 
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
+    def _hits(self, ranked: list[tuple[int, float]],
+              k: int) -> list[SearchHit]:
+        """Re-break score ties in ranked ``(id, score)`` pairs by
+        external key, truncate, then materialize hits.  Keys are
+        content-addressed, so equal-score order is identical no matter
+        how entries were distributed or inserted — the property that
+        makes sharded fan-out results exactly reproduce a single
+        index's.  (The input is already score-sorted, so the re-sort is
+        a near-linear timsort pass; hits are only built for the final
+        k.)"""
+        ranked = sorted(ranked,
+                        key=lambda pair: (-pair[1], self.keys[pair[0]]))
+        return [SearchHit(self.keys[i], score, self.meta[i])
+                for i, score in ranked[:k]]
+
     def query_vector(self, vector: np.ndarray, k: int = 10,
                      exclude: str | None = None) -> list[SearchHit]:
         """Top-k neighbours of ``vector``; ``exclude`` drops one key
-        (typically the query's own fingerprint)."""
+        (typically the query's own fingerprint).  Ties break by key;
+        ``k`` below 1 raises ``ValueError`` instead of silently
+        returning nothing."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        n_candidates, hits = self.query_partial(vector, k, exclude=exclude)
+        if n_candidates < k:
+            return self.query_brute(vector, k, exclude=exclude)
+        return hits
+
+    def query_partial(self, vector: np.ndarray, k: int = 10,
+                      exclude: str | None = None
+                      ) -> tuple[int, list[SearchHit]]:
+        """One shard's contribution to a fan-out query: ``(number of LSH
+        candidates, top-k among them)`` with no brute-force fallback —
+        whether blocking under-delivered is only decidable on the
+        candidate total across every shard (see
+        :meth:`~repro.index.sharded.ShardedIndex.query_vector`)."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
         exclude_id = self._id_of.get(exclude) if exclude is not None else None
-        ranked = self.lsh.query(vector, k, exclude=exclude_id)
-        return [SearchHit(self.keys[i], score, self.meta[i])
-                for i, score in ranked]
+        # Rank *all* candidates and truncate after the key tie-break —
+        # truncating inside the LSH (id tie-break) could swap members at
+        # a tied k boundary.
+        n_candidates, ranked = self.lsh.query_partial(vector, None,
+                                                      exclude=exclude_id)
+        return n_candidates, self._hits(ranked, k)
+
+    def query_brute(self, vector: np.ndarray, k: int = 10,
+                    exclude: str | None = None) -> list[SearchHit]:
+        """Top-k over every live entry, bypassing LSH blocking."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        exclude_id = self._id_of.get(exclude) if exclude is not None else None
+        return self._hits(self.lsh.query_brute(vector, None,
+                                               exclude=exclude_id), k)
+
+    # ------------------------------------------------------------------
+    # Sharded map-reduce build
+    # ------------------------------------------------------------------
+    @classmethod
+    def build_sharded(cls, embedder, tables: list[Table], shards: int = 4,
+                      workers: int | None = None,
+                      batch_size: int | None = None, **build_kwargs):
+        """Map-reduce corpus build: partition tables by fingerprint hash
+        (the same routing :class:`~repro.index.sharded.ShardedIndex`
+        uses for ``add``), batch-encode the whole corpus once —
+        optionally scattered over ``workers`` processes — then run the
+        ordinary ``cls.build`` per partition and assemble the shards
+        under one :class:`~repro.index.sharded.ShardedIndex`.
+
+        Only meaningful on subclasses that define ``build`` (``TableIndex``
+        / ``ColumnIndex``); extra keyword arguments (``variant``,
+        ``composite``, LSH geometry, ...) pass through to it.
+        """
+        from .sharded import ShardedIndex, shard_of
+        from .spec import IndexSpec
+
+        if shards < 1:
+            raise ValueError(f"shards must be at least 1, got {shards}")
+        if not tables:
+            raise ValueError("cannot build an index over an empty corpus")
+        # Map step: one batched encode over the full corpus primes the
+        # content-addressed cache, so the per-partition builds below are
+        # pure cache hits (encode_corpus skips cached tables).
+        embedder.precompute(tables, batch_size=batch_size, workers=workers)
+        partitions: list[list[Table]] = [[] for _ in range(shards)]
+        for table in tables:
+            partitions[shard_of(table_fingerprint(table), shards)].append(table)
+        built: dict[int, VectorIndex] = {}
+        for position, partition in enumerate(partitions):
+            if partition:
+                built[position] = cls.build(embedder, partition,
+                                            batch_size=batch_size,
+                                            **build_kwargs)
+        # Reduce step: empty partitions (small corpora, skewed hashes)
+        # become empty shards with the same spec, so routing stays
+        # aligned with the shard count.
+        spec = IndexSpec.from_index(next(iter(built.values())))
+        return ShardedIndex(spec, [built[position] if position in built
+                                   else spec.create_index()
+                                   for position in range(shards)])
 
     # ------------------------------------------------------------------
     # Persistence
@@ -293,8 +348,15 @@ class VectorIndex:
     @classmethod
     def load(cls, path: str | Path) -> "VectorIndex":
         path = Path(path)
-        if not path.exists() and path.with_suffix(".npz").exists():
-            path = path.with_suffix(".npz")
+        if not path.is_file():
+            # save("foo.idx") writes "foo.idx.npz" (numpy appends the
+            # suffix), so the fallback must *append* too — with_suffix
+            # would replace ".idx" and look for a "foo.npz" that was
+            # never written.  Gate on is_file, not exists: a stray
+            # *directory* at ``path`` must not pre-empt the sibling.
+            appended = path.with_name(path.name + ".npz")
+            if appended.is_file():
+                path = appended
         with np.load(path) as archive:
             payload = json.loads(bytes(archive[_PAYLOAD_KEY]).decode("utf-8"))
             vectors = archive["vectors"]
@@ -312,8 +374,77 @@ class VectorIndex:
 
 
 def load_index(path: str | Path) -> VectorIndex:
-    """Load any saved index, dispatching on its stored ``kind``."""
+    """Load a saved single-file index, dispatching on its stored
+    ``kind``.  Prefer :func:`~repro.index.backends.open_index`, which
+    also understands sharded directory layouts."""
     return VectorIndex.load(path)
+
+
+def index_class(kind: str) -> type:
+    """The :class:`VectorIndex` subclass registered for ``kind``."""
+    try:
+        return _KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown index kind {kind!r}; expected one of "
+                         f"{sorted(_KINDS)}") from None
+
+
+def check_merge_compatible(mine: dict, theirs: dict) -> None:
+    """Raise ``ValueError`` unless two merge signatures describe the
+    same vector space.  An unknown checkpoint (hand-built index, pre-v2
+    file) is a wildcard; only two *different known* checkpoints
+    conflict."""
+    mine, theirs = dict(mine), dict(theirs)
+    if mine.get("model_id") is None or theirs.get("model_id") is None:
+        mine.pop("model_id", None)
+        theirs.pop("model_id", None)
+    if mine != theirs:
+        diff = {name: (mine.get(name), theirs.get(name))
+                for name in mine.keys() | theirs.keys()
+                if mine.get(name) != theirs.get(name)}
+        raise ValueError(f"cannot merge incompatible indexes: {diff}")
+
+
+def merge_into(target, source) -> int:
+    """The one merge procedure both layouts share: verify the vector
+    spaces agree, bulk-insert the source's live entries (the target's
+    ``add_batch`` dedupes by key — and, for a sharded target, routes),
+    adopt a known checkpoint so a later merge with a *third* checkpoint
+    is refused instead of wildcarded through, and union the corpus
+    provenance (a merged multi-corpus index must not keep the first
+    input's stamp verbatim, or downstream provenance checks would
+    accept queries from one source corpus and reject the other's).
+    Returns the number of entries actually added."""
+    check_merge_compatible(target._merge_signature(),
+                           source._merge_signature())
+    incoming = source.live_items()
+    before = len(target)
+    if incoming:
+        target.add_batch([key for key, _vec, _meta in incoming],
+                         np.stack([vec for _key, vec, _meta in incoming]),
+                         [dict(meta) for _key, _vec, meta in incoming])
+    if target.model_id is None:
+        target.model_id = source.model_id
+    target.corpus = merge_corpus_stamps(target.corpus, source.corpus)
+    return len(target) - before
+
+
+def merge_corpus_stamps(mine: dict, theirs: dict) -> dict:
+    """Union two corpus-provenance stamps, flattening nested
+    ``merged_from`` lists and deduping equal provenances."""
+    if mine == theirs:
+        return mine
+
+    def provenances(stamp: dict) -> list[dict]:
+        if not stamp:
+            return []
+        return list(stamp.get("merged_from", [stamp]))
+
+    combined: list[dict] = []
+    for stamp in provenances(mine) + provenances(theirs):
+        if stamp not in combined:
+            combined.append(stamp)
+    return {"merged_from": combined} if combined else {}
 
 
 class TableIndex(VectorIndex):

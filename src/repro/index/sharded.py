@@ -1,0 +1,323 @@
+"""Sharded index: one query/lifecycle surface over many shard files.
+
+A :class:`ShardedIndex` holds N ordinary :class:`~repro.index.index.VectorIndex`
+shards that share one :class:`~repro.index.spec.IndexSpec`.  Entries are
+routed by a stable hash of their key's *table fingerprint* (column keys
+``fingerprint:j`` route by the fingerprint prefix, so every column of a
+table lands in the table's shard) — the same partition function
+``build_sharded`` uses, so incremental ``add`` and map-reduce builds
+agree on ownership.
+
+Queries fan out: every shard ranks its own LSH candidates
+(:meth:`VectorIndex.query_partial`), and the partial rankings are
+heap-merged into a global top-k.  The brute-force fallback that keeps a
+single index from silently shrinking results is decided *globally* — on
+the candidate total across all shards — so a sharded query returns
+exactly what one big index over the same corpus would (ties broken by
+key, which is content-addressed and therefore layout-independent).
+
+Lifecycle operations dispatch to the owning shard (``remove``), sum
+over shards (``compact``), or route incoming entries (``merge``, which
+accepts single-file and sharded sources alike).  After skewed merges —
+or to change the shard count — :meth:`rebalance` redistributes every
+live entry back to its hash owner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+
+from ..retrieval.lsh import merge_ranked
+from .index import SearchHit, merge_into
+from .spec import IndexSpec
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    """Owning shard for ``key`` under an ``n_shards`` layout.
+
+    Routing hashes only the table-fingerprint prefix (the part before
+    the first ``:``), so ``fp`` and ``fp:3`` co-locate; blake2b keeps
+    the placement stable across processes and Python hash
+    randomization.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be at least 1, got {n_shards}")
+    fingerprint = key.split(":", 1)[0]
+    digest = hashlib.blake2b(fingerprint.encode("utf-8"),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+class ShardedIndex:
+    """N spec-sharing shards behind the ``VectorIndex`` query/lifecycle
+    surface."""
+
+    def __init__(self, spec: IndexSpec, shards: list):
+        if not shards:
+            raise ValueError("a sharded index needs at least one shard")
+        for position, shard in enumerate(shards):
+            if shard.kind != spec.kind or shard.dim != spec.dim:
+                raise ValueError(
+                    f"shard {position} is ({shard.kind!r}, dim {shard.dim}), "
+                    f"spec says ({spec.kind!r}, dim {spec.dim})")
+            # LSH geometry must match too: the fan-out fallback decision
+            # sums per-shard candidate counts, which are only comparable
+            # when every shard hashes through the same hyperplanes.
+            mine = (shard.n_planes, shard.n_bands, shard.seed)
+            want = (spec.n_planes, spec.n_bands, spec.seed)
+            if mine != want:
+                raise ValueError(
+                    f"shard {position} has LSH geometry "
+                    f"(planes, bands, seed)={mine}, spec says {want}")
+        self.spec = spec
+        self.shards = list(shards)
+
+    @classmethod
+    def create(cls, spec: IndexSpec, n_shards: int) -> "ShardedIndex":
+        """An empty sharded index: ``n_shards`` fresh shards of ``spec``."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be at least 1, got {n_shards}")
+        return cls(spec, [spec.create_index() for _ in range(n_shards)])
+
+    # ------------------------------------------------------------------
+    # Spec passthroughs (so callers treat either layout uniformly)
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    @property
+    def dim(self) -> int:
+        return self.spec.dim
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def corpus(self) -> dict:
+        return self.spec.corpus
+
+    @corpus.setter
+    def corpus(self, stamp: dict) -> None:
+        self.spec.corpus = stamp
+
+    @property
+    def model_id(self) -> str | None:
+        return self.spec.model_id
+
+    @model_id.setter
+    def model_id(self, value: str | None) -> None:
+        self.spec.model_id = value
+
+    def shard_sizes(self) -> list[int]:
+        """Live entries per shard (skew diagnostic)."""
+        return [len(shard) for shard in self.shards]
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def _owner(self, key: str):
+        return self.shards[shard_of(key, len(self.shards))]
+
+    def _holding(self, key: str):
+        """The shard that actually holds ``key`` — its hash owner in
+        every layout this module writes, but a manually assembled
+        directory may disagree, so fall back to scanning."""
+        owner = self._owner(key)
+        if key in owner:
+            return owner
+        for shard in self.shards:
+            if shard is not owner and key in shard:
+                return shard
+        return None
+
+    def add(self, key: str, vector: np.ndarray, meta: dict | None = None) -> int:
+        """Route one entry to its owning shard; duplicate keys are
+        no-ops *globally* — a key already held by a non-owner shard
+        (manually assembled layout) is left where it is rather than
+        inserted a second time.  Returns the shard-local id."""
+        holder = self._holding(key)
+        if holder is not None:
+            return holder.add(key, vector, meta)
+        return self._owner(key).add(key, vector, meta)
+
+    def add_batch(self, keys: list[str], vectors: np.ndarray,
+                  metas: list[dict] | None = None) -> list[int]:
+        """Group a bulk insert per holding-or-owning shard, one
+        vectorized LSH pass each.  Returns shard-local ids aligned with
+        ``keys``."""
+        if metas is None:
+            metas = [{} for _ in keys]
+        if not (len(keys) == len(vectors) == len(metas)):
+            raise ValueError("keys, vectors and metas must align")
+        groups: dict[int, list[int]] = {}
+        for i, key in enumerate(keys):
+            holder = self._holding(key)
+            position = (self.shards.index(holder) if holder is not None
+                        else shard_of(key, len(self.shards)))
+            groups.setdefault(position, []).append(i)
+        ids: list[int | None] = [None] * len(keys)
+        vectors = np.asarray(vectors, float)
+        for position, members in groups.items():
+            shard_ids = self.shards[position].add_batch(
+                [keys[i] for i in members], vectors[members],
+                [metas[i] for i in members])
+            for i, shard_id in zip(members, shard_ids):
+                ids[i] = shard_id
+        return ids
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, key: str) -> bool:
+        return self._holding(key) is not None
+
+    def vector(self, key: str) -> np.ndarray:
+        shard = self._holding(key)
+        if shard is None:
+            raise KeyError(f"no live entry for key {key!r}")
+        return shard.vector(key)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def remove(self, key: str) -> None:
+        """Tombstone ``key`` in the shard that holds it; ``KeyError``
+        when no shard does."""
+        shard = self._holding(key)
+        if shard is None:
+            raise KeyError(f"no live entry for key {key!r}")
+        shard.remove(key)
+
+    def compact(self) -> int:
+        """Compact every shard; returns total slots reclaimed."""
+        return sum(shard.compact() for shard in self.shards)
+
+    @property
+    def n_tombstones(self) -> int:
+        return sum(shard.n_tombstones for shard in self.shards)
+
+    def live_items(self) -> list[tuple[str, np.ndarray, dict]]:
+        """``(key, vector, meta)`` across shards, shard-then-insertion
+        order."""
+        return [item for shard in self.shards for item in shard.live_items()]
+
+    def _merge_signature(self) -> dict:
+        return self.spec.signature()
+
+    def merge(self, other) -> int:
+        """Fold another index — single-file or sharded — into this one,
+        routing every incoming live entry to its owning shard and
+        deduping by key.  Returns the number of entries added."""
+        return merge_into(self, other)
+
+    def rebalance(self, n_shards: int | None = None) -> int:
+        """Redistribute every live entry to its hash-owner shard,
+        optionally under a new shard count.  Rebuilds the shards (so
+        tombstones are reclaimed, like :meth:`compact`); returns the
+        number of entries that changed shards."""
+        target = len(self.shards) if n_shards is None else n_shards
+        if target < 1:
+            raise ValueError(f"n_shards must be at least 1, got {target}")
+        moved = 0
+        buckets: list[list[tuple[str, np.ndarray, dict]]] = \
+            [[] for _ in range(target)]
+        for position, shard in enumerate(self.shards):
+            for key, vector, meta in shard.live_items():
+                owner = shard_of(key, target)
+                if owner != position:
+                    moved += 1
+                buckets[owner].append((key, vector, meta))
+        fresh = [self.spec.create_index() for _ in range(target)]
+        for shard, items in zip(fresh, buckets):
+            if items:
+                shard.add_batch([key for key, _vec, _meta in items],
+                                np.stack([vec for _key, vec, _meta in items]),
+                                [meta for _key, _vec, meta in items])
+        self.shards = fresh
+        return moved
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query_vector(self, vector: np.ndarray, k: int = 10,
+                     exclude: str | None = None) -> list[SearchHit]:
+        """Fan-out top-k: every shard ranks its own LSH candidates, the
+        partial rankings heap-merge into a global top-k.  Matches a
+        single index over the same corpus exactly — including the
+        brute-force fallback, which triggers on the candidate total
+        across shards, never per shard."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        partials = [shard.query_partial(vector, k, exclude=exclude)
+                    for shard in self.shards]
+        if sum(count for count, _hits in partials) < k:
+            rankings = [shard.query_brute(vector, k, exclude=exclude)
+                        for shard in self.shards]
+        else:
+            rankings = [hits for _count, hits in partials]
+        by_key: dict[str, SearchHit] = {}
+        for ranking in rankings:
+            for hit in ranking:
+                current = by_key.get(hit.key)
+                if current is None or hit.score > current.score:
+                    by_key[hit.key] = hit
+        # Over-fetch when deduping could shrink the result: a key held by
+        # two shards (manually assembled layout) must count once, without
+        # costing a slot another key earned.
+        merged = merge_ranked([[(hit.key, hit.score) for hit in ranking]
+                               for ranking in rankings],
+                              k * len(self.shards))
+        hits, seen = [], set()
+        for key, _score in merged:
+            if key not in seen:
+                seen.add(key)
+                hits.append(by_key[key])
+            if len(hits) == k:
+                break
+        return hits
+
+    def query_table(self, embedder, table, k: int = 10,
+                    exclude_self: bool = True) -> list[SearchHit]:
+        """Table-kind counterpart of :meth:`TableIndex.query_table`."""
+        from .fingerprint import table_fingerprint
+
+        if self.kind != "table":
+            raise ValueError(f"query_table needs a table index, "
+                             f"not kind {self.kind!r}")
+        variant = self.spec.extra.get("variant", "tblcomp1")
+        vector = embedder.table_embedding(table, variant=variant)
+        exclude = table_fingerprint(table) if exclude_self else None
+        return self.query_vector(vector, k, exclude=exclude)
+
+    def query_column(self, embedder, table, j: int, k: int = 10,
+                     exclude_self: bool = True) -> list[SearchHit]:
+        """Column-kind counterpart of :meth:`ColumnIndex.query_column`."""
+        from .fingerprint import table_fingerprint
+
+        if self.kind != "column":
+            raise ValueError(f"query_column needs a column index, "
+                             f"not kind {self.kind!r}")
+        composite = self.spec.extra.get("composite", True)
+        vector = embedder.column_embedding(table, j, composite=composite)
+        exclude = (f"{table_fingerprint(table)}:{j}"
+                   if exclude_self else None)
+        return self.query_vector(vector, k, exclude=exclude)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the sharded directory layout (see
+        :class:`~repro.index.backends.ShardedDirBackend`)."""
+        from .backends import ShardedDirBackend
+
+        return ShardedDirBackend().save(self, path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardedIndex(kind={self.kind!r}, dim={self.dim}, "
+                f"shards={self.shard_sizes()})")

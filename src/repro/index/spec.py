@@ -1,0 +1,87 @@
+"""Declarative description of an index's parameters.
+
+Every persisted index — a single ``.npz`` file or a sharded directory —
+boils down to the same facts: what *kind* of entries it holds (table /
+column / raw vectors), the vector space (dim + per-kind composition
+parameters such as ``variant``), the LSH geometry, the embedder
+checkpoint the vectors came from, and the corpus provenance.
+:class:`IndexSpec` names those facts once so backends can serialize
+them, ``open_index`` can validate them, and :class:`ShardedIndex` can
+stamp every shard with the same configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IndexSpec:
+    """Parameters shared by every shard (or the whole single file).
+
+    ``extra`` carries kind-specific composition parameters — ``variant``
+    for table indexes, ``composite`` for column indexes — exactly the
+    keys a ``VectorIndex`` subclass adds to ``_params()``.
+    """
+
+    kind: str
+    dim: int
+    n_planes: int = 8
+    n_bands: int = 4
+    seed: int = 0
+    model_id: str | None = None
+    corpus: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    #: Keys of ``VectorIndex._params()`` that are spec fields rather
+    #: than kind-specific extras.
+    _BASE_KEYS = ("kind", "dim", "n_planes", "n_bands", "seed",
+                  "model_id", "corpus")
+
+    @classmethod
+    def from_params(cls, params: dict) -> "IndexSpec":
+        """Build a spec from a ``VectorIndex._params()`` dict (the shape
+        both the ``.npz`` payload and the shard manifest store)."""
+        extra = {key: value for key, value in params.items()
+                 if key not in cls._BASE_KEYS}
+        return cls(kind=params["kind"], dim=params["dim"],
+                   n_planes=params.get("n_planes", 8),
+                   n_bands=params.get("n_bands", 4),
+                   seed=params.get("seed", 0),
+                   model_id=params.get("model_id"),
+                   corpus=dict(params.get("corpus") or {}),
+                   extra=extra)
+
+    @classmethod
+    def from_index(cls, index) -> "IndexSpec":
+        """The spec of a live ``VectorIndex`` (any subclass)."""
+        return cls.from_params(index._params())
+
+    def to_params(self) -> dict:
+        """Back to the flat ``_params()`` shape (manifest / payload)."""
+        return {"kind": self.kind, "dim": self.dim,
+                "n_planes": self.n_planes, "n_bands": self.n_bands,
+                "seed": self.seed, "model_id": self.model_id,
+                "corpus": self.corpus, **self.extra}
+
+    def create_index(self):
+        """Instantiate an *empty* index of this spec's kind — the unit a
+        sharded layout is assembled from."""
+        from .index import index_class
+
+        cls = index_class(self.kind)
+        index = cls(self.dim, n_planes=self.n_planes, n_bands=self.n_bands,
+                    seed=self.seed)
+        index.model_id = self.model_id
+        index.corpus = dict(self.corpus)
+        index._restore_extra(self.extra)
+        return index
+
+    def signature(self) -> dict:
+        """What two indexes must agree on to hold vectors from the same
+        space: kind, dim, kind-specific composition params, and — when
+        known — the source checkpoint.  LSH geometry and corpus
+        provenance are deliberately absent (see
+        ``VectorIndex._merge_signature``)."""
+        return {"kind": self.kind, "dim": self.dim,
+                "model_id": self.model_id, **self.extra}

@@ -1,11 +1,11 @@
 """Retrieval substrate: cosine ranking, LSH blocking, cluster formation."""
 
 from .clustering import centroid_ranking, rank_neighbors, top_k_cluster, topic_centroid
-from .lsh import CosineLSH
+from .lsh import CosineLSH, merge_ranked
 from .similarity import cosine_matrix, cosine_similarity, normalize_rows, top_k
 
 __all__ = [
     "cosine_similarity", "cosine_matrix", "normalize_rows", "top_k",
-    "CosineLSH",
+    "CosineLSH", "merge_ranked",
     "rank_neighbors", "top_k_cluster", "centroid_ranking", "topic_centroid",
 ]

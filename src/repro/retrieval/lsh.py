@@ -5,9 +5,21 @@ complexity for the entire dataset" when clustering the hundreds of
 thousands of columns.  Signs of random projections bucket vectors so
 candidate pairs are only drawn from matching buckets (multiple bands
 raise recall).
+
+Queries come in two granularities.  :meth:`CosineLSH.query` is the
+self-contained top-k (candidates, with a brute-force fallback when
+blocking under-delivers).  Sharded indexes instead need *partial*
+results — :meth:`CosineLSH.query_partial` ranks only the blocking
+candidates and reports how many there were, so a fan-out caller can
+take the fallback decision globally (the per-shard candidate count says
+nothing about the union) and heap-merge the per-shard rankings with
+:func:`merge_ranked`.
 """
 
 from __future__ import annotations
+
+import heapq
+from itertools import islice
 
 import numpy as np
 
@@ -145,6 +157,44 @@ class CosineLSH:
             return np.zeros((0, self.dim))
         return np.stack(self._vectors)
 
+    def _rank(self, ids, vector: np.ndarray,
+              k: int | None) -> list[tuple[int, float]]:
+        """Cosine-score ``ids`` against ``vector``, best first; ``k``
+        ``None`` returns the whole ranking (callers that re-break ties
+        by an external key must truncate *after* re-sorting, or a
+        boundary tie could change membership)."""
+        from .similarity import cosine_similarity
+
+        scored = [(i, cosine_similarity(vector, self._vectors[i])) for i in ids]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored if k is None else scored[:k]
+
+    def query_partial(self, vector: np.ndarray, k: int | None,
+                      exclude: int | None = None
+                      ) -> tuple[int, list[tuple[int, float]]]:
+        """``(n_candidates, top-k among candidates)`` with **no**
+        brute-force fallback — one shard's contribution to a fan-out
+        query, where whether blocking under-delivered can only be judged
+        on the candidate total across all shards."""
+        if k is not None and k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        cands = self.candidates(vector)
+        if exclude is not None:
+            cands.discard(exclude)
+        return len(cands), self._rank(cands, vector, k)
+
+    def query_brute(self, vector: np.ndarray, k: int | None,
+                    exclude: int | None = None) -> list[tuple[int, float]]:
+        """Top-k over every live vector, ignoring the band buckets.
+        Tombstones still never surface: removed ids are excluded even
+        though their vectors occupy slots."""
+        if k is not None and k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        cands = set(self.live_ids())
+        if exclude is not None:
+            cands.discard(exclude)
+        return self._rank(cands, vector, k)
+
     def query(self, vector: np.ndarray, k: int,
               exclude: int | None = None) -> list[tuple[int, float]]:
         """Top-k cosine neighbours among LSH candidates.
@@ -153,17 +203,24 @@ class CosineLSH:
         returns fewer than ``k`` candidates, so results never silently
         shrink.
         """
-        from .similarity import cosine_similarity
+        n_candidates, ranked = self.query_partial(vector, k, exclude=exclude)
+        if n_candidates < k:
+            return self.query_brute(vector, k, exclude=exclude)
+        return ranked
 
-        cands = self.candidates(vector)
-        if exclude is not None:
-            cands.discard(exclude)
-        if len(cands) < k:
-            # Brute force must skip tombstones too: removed ids are gone
-            # from the band buckets but their vectors still occupy slots.
-            cands = set(self.live_ids())
-            if exclude is not None:
-                cands.discard(exclude)
-        scored = [(i, cosine_similarity(vector, self._vectors[i])) for i in cands]
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored[:k]
+
+def merge_ranked(rankings: list[list[tuple]], k: int) -> list[tuple]:
+    """Heap-merge sorted ``(item, score)`` rankings into one global
+    top-k.
+
+    Each input must already be sorted best-first (the shape
+    :meth:`CosineLSH.query_partial` and ``VectorIndex.query_partial``
+    return).  Ties are broken by ``item`` ascending, matching the
+    single-index sort key — for sharded indexes the items are external
+    string keys, so equal-score order is content-addressed rather than
+    insertion-dependent.
+    """
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    merged = heapq.merge(*rankings, key=lambda pair: (-pair[1], pair[0]))
+    return list(islice(merged, k))

@@ -1,0 +1,71 @@
+"""Regenerate the checked-in legacy index fixtures.
+
+``v1-table.npz`` is written byte-by-byte in the *original* (pre-
+lifecycle) payload shape — no ``format_version``, no ``tombstones``, no
+``model_id`` — exactly what a PR-1-era ``save()`` produced.
+``v2-table.npz`` goes through the current ``save()`` with a tombstone,
+pinning the v2 shape independent of future format bumps (regenerate it
+only while FORMAT_VERSION == 2).
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/index/fixtures/generate_fixtures.py
+
+Deterministic (seeded vectors), but the ``.npz`` container bytes may
+differ across numpy versions — only regenerate when the fixture content
+must change.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+HERE = Path(__file__).resolve().parent
+DIM = 8
+KEYS = ["fp-alpha", "fp-bravo", "fp-charlie", "fp-delta"]
+
+
+def fixture_vectors() -> np.ndarray:
+    return np.random.default_rng(42).standard_normal((len(KEYS), DIM))
+
+
+def write_v1() -> Path:
+    """The unversioned PR-1 payload: params/keys/meta only."""
+    payload = json.dumps({
+        "params": {"kind": "table", "dim": DIM, "n_planes": 4, "n_bands": 2,
+                   "seed": 0, "corpus": {"dataset": "fixture", "n_tables": 4,
+                                         "seed": 0},
+                   "variant": "tblcomp1"},
+        "keys": KEYS,
+        "meta": [{"caption": f"fixture table {i}", "topic": "fixtures",
+                  "shape": [2, 2]} for i in range(len(KEYS))],
+    })
+    path = HERE / "v1-table.npz"
+    np.savez(path, vectors=fixture_vectors(),
+             **{"__index__": np.frombuffer(payload.encode("utf-8"),
+                                           dtype=np.uint8)})
+    return path
+
+
+def write_v2() -> Path:
+    """Current format, mid-lifecycle: one tombstone, known model_id."""
+    import sys
+
+    sys.path.insert(0, str(HERE.parents[2] / "src"))
+    from repro.index import FORMAT_VERSION, TableIndex
+
+    assert FORMAT_VERSION == 2, "regenerating would not produce a v2 file"
+    index = TableIndex(DIM, variant="tblcomp1", n_planes=4, n_bands=2, seed=0)
+    index.model_id = "fixture-model"
+    index.corpus = {"dataset": "fixture", "n_tables": 4, "seed": 0}
+    index.add_batch(KEYS, fixture_vectors(),
+                    [{"caption": f"fixture table {i}", "topic": "fixtures",
+                      "shape": [2, 2]} for i in range(len(KEYS))])
+    index.remove("fp-delta")
+    return index.save(HERE / "v2-table.npz")
+
+
+if __name__ == "__main__":
+    print(f"wrote {write_v1()}")
+    print(f"wrote {write_v2()}")

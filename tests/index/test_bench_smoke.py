@@ -43,6 +43,25 @@ def test_bench_smoke(tmp_path):
     assert "per-table" in text and "batch=4" in text
 
 
+def test_bench_sharded_query_smoke(tmp_path):
+    bench = load_module("bench_sharded_query")
+    report = bench.run(n_vectors=200, dim=16, n_queries=10, k=5,
+                       shard_counts=(2,))
+    assert report["benchmark"] == "sharded_query"
+    assert report["config"]["shard_counts"] == [2]
+    modes = [(r["op"], r["mode"]) for r in report["results"]]
+    assert modes == [("build", "single"), ("query", "single"),
+                     ("build", "shards=2"), ("query", "shards=2"),
+                     ("rebalance", "shards=2->3")]
+    for record in report["results"]:
+        assert record["seconds"] >= 0
+    # The harness itself asserts sharded == single rankings; reaching
+    # here means the equivalence held at smoke scale.
+    (tmp_path / "BENCH_sharded_query.json").write_text(json.dumps(report))
+    text = bench.render(report).to_text()
+    assert "query single" in text and "query shards=2" in text
+
+
 def test_bench_lifecycle_smoke(tmp_path):
     bench = load_module("bench_index_lifecycle")
     report = bench.run(n_vectors=200, dim=16, n_tables=4, vocab_size=200,

@@ -49,6 +49,23 @@ class TestVectorIndex:
         assert "k0" not in {h.key for h in hits}
         assert len(hits) == 4
 
+    def test_query_k_below_one_rejected(self):
+        index = VectorIndex(dim=4)
+        index.add("a", RNG.standard_normal(4))
+        for bad_k in (0, -1):
+            with pytest.raises(ValueError, match="at least 1"):
+                index.query_vector(RNG.standard_normal(4), k=bad_k)
+
+    def test_save_load_appends_npz_to_foreign_suffix(self, tmp_path):
+        """Regression: save("foo.idx") writes foo.idx.npz, and
+        load("foo.idx") must find it (with_suffix would look for the
+        never-written foo.npz instead)."""
+        index = VectorIndex(dim=4)
+        index.add("a", RNG.standard_normal(4))
+        written = index.save(tmp_path / "foo.idx")
+        assert written == tmp_path / "foo.idx.npz"
+        assert load_index(tmp_path / "foo.idx").keys == index.keys
+
     def test_contains_and_vector(self):
         index = VectorIndex(dim=4)
         v = RNG.standard_normal(4)

@@ -110,6 +110,40 @@ class TestLSH:
         with pytest.raises(ValueError):
             lsh.add(np.ones(5))
 
+    def test_query_partial_reports_candidates_without_fallback(self):
+        from repro.retrieval import merge_ranked
+
+        lsh = CosineLSH(dim=8, n_planes=10, n_bands=1, seed=0)
+        vectors = RNG.standard_normal((10, 8))
+        lsh.add_all(vectors)
+        n_candidates, ranked = lsh.query_partial(vectors[0], k=5)
+        assert len(ranked) <= n_candidates          # no brute-force top-up
+        assert ranked == sorted(ranked, key=lambda p: (-p[1], p[0]))
+        # query() == partial when candidates suffice, brute force otherwise
+        if n_candidates >= 5:
+            assert lsh.query(vectors[0], k=5) == ranked
+        else:
+            assert lsh.query(vectors[0], k=5) == lsh.query_brute(vectors[0], k=5)
+        # merging the single partial with empties reproduces it
+        assert merge_ranked([ranked, [], []], 5) == ranked
+
+    def test_merge_ranked_global_top_k(self):
+        from repro.retrieval import merge_ranked
+
+        left = [("a", 0.9), ("c", 0.5), ("e", 0.1)]
+        right = [("b", 0.8), ("d", 0.5), ("f", 0.0)]
+        merged = merge_ranked([left, right], 4)
+        assert merged == [("a", 0.9), ("b", 0.8), ("c", 0.5), ("d", 0.5)]
+        with pytest.raises(ValueError, match="at least 1"):
+            merge_ranked([left], 0)
+
+    def test_query_k_below_one_rejected(self):
+        lsh = CosineLSH(dim=4)
+        lsh.add(np.ones(4))
+        for method in (lsh.query, lsh.query_brute):
+            with pytest.raises(ValueError, match="at least 1"):
+                method(np.ones(4), k=0)
+
     def test_invalid_params(self):
         with pytest.raises(ValueError):
             CosineLSH(dim=0)

@@ -146,6 +146,183 @@ class TestIndex:
         assert (serial.lsh.vectors() == parallel.lsh.vectors()).all()
 
 
+class TestShardedIndexCLI:
+    """`index build --shards N` + transparent query/rm/compact/merge over
+    the sharded directory layout."""
+
+    @pytest.fixture(scope="class")
+    def built(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("sharded") / "idx"
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(out), "--shards", "3"]) == 0
+        return out
+
+    def test_build_emits_sharded_layout(self, built):
+        import json
+
+        assert (built / "tables" / "MANIFEST.json").exists()
+        assert (built / "columns" / "MANIFEST.json").exists()
+        assert not (built / "tables.npz").exists()
+        manifest = json.loads((built / "tables" / "MANIFEST.json").read_text())
+        assert manifest["n_shards"] == 3
+        assert sum(e["entries"] for e in manifest["shards"]) == 6
+
+    def test_query_tables_over_sharded_layout(self, built, capsys):
+        assert main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(built), "--table", "1", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Tables similar to" in out
+        assert out.count("0.") >= 3
+
+    def test_query_columns_over_sharded_layout(self, built, capsys):
+        assert main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(built), "--table", "0", "--column", "0",
+                     "--k", "2"]) == 0
+        assert "Columns similar to" in capsys.readouterr().out
+
+    def test_sharded_query_matches_single_file_build(self, built,
+                                                     tmp_path_factory,
+                                                     capsys):
+        """Same corpus, same checkpoint config: the sharded and the
+        single-file layout must print identical rankings."""
+        single = tmp_path_factory.mktemp("single") / "idx"
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(single)]) == 0
+        capsys.readouterr()
+        assert main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(single), "--table", "1", "--k", "4"]) == 0
+        single_out = capsys.readouterr().out
+        assert main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(built), "--table", "1", "--k", "4"]) == 0
+        assert capsys.readouterr().out == single_out
+
+    def test_rm_and_compact_on_sharded_dir(self, built, tmp_path, capsys):
+        import shutil
+
+        from repro.index import open_index
+
+        copy = tmp_path / "tables"
+        shutil.copytree(built / "tables", copy)
+        key = TestIndexLifecycleCLI.corpus_key(0)
+        assert main(["index", "rm", str(copy), key]) == 0
+        assert "1 tombstoned" in capsys.readouterr().out
+        index = open_index(copy)
+        assert key not in index and index.n_tombstones == 1
+        assert main(["index", "compact", str(copy)]) == 0
+        assert "reclaimed 1" in capsys.readouterr().out
+        assert open_index(copy).n_tombstones == 0
+
+    def test_merge_mixed_layouts(self, built, tmp_path, capsys):
+        """First input sharded, second single-file: merge dedupes and
+        keeps the sharded layout."""
+        import shutil
+
+        from repro.index import ShardedIndex, open_index
+
+        left = tmp_path / "left"
+        shutil.copytree(built / "tables", left)
+        key = TestIndexLifecycleCLI.corpus_key(0)
+        main(["index", "rm", str(left), key, "--compact"])
+        capsys.readouterr()
+        single = tmp_path / "single"
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(single)]) == 0
+        capsys.readouterr()
+        merged = tmp_path / "merged"
+        assert main(["index", "merge", str(left),
+                     str(single / "tables.npz"), "--out", str(merged)]) == 0
+        assert "fingerprint-deduped" in capsys.readouterr().out
+        result = open_index(merged)
+        assert isinstance(result, ShardedIndex)       # first input's layout
+        assert len(result) == 6                       # removed key restored
+
+    def test_rebuild_switching_layout_replaces_stale_artifacts(self, tmp_path,
+                                                               capsys):
+        """Rebuilding the same --out with the other layout must not
+        leave the previous artifact behind — open_index sniffs the
+        manifest directory first and would silently serve stale
+        results."""
+        out = tmp_path / "idx"
+        assert main(["index", "build", "cancerkg", "--n-tables", "4",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(out), "--shards", "2"]) == 0
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(out)]) == 0
+        assert not (out / "tables").exists()          # stale dirs removed
+        assert not (out / "columns").exists()
+        capsys.readouterr()
+        # The 4-table sharded build is gone: querying as the 6-table
+        # corpus must hit the fresh single-file index, not error out.
+        assert main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(out), "--table", "0", "--k", "2"]) == 0
+        assert "Tables similar to" in capsys.readouterr().out
+        # And back: single-file -> sharded removes the stale .npz.
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(out), "--shards", "2"]) == 0
+        assert not (out / "tables.npz").exists()
+
+    def test_remerge_switching_layout_replaces_stale_output(self, built,
+                                                            tmp_path, capsys):
+        """Re-running merge at the same --out with the other first-input
+        layout must replace the old artifact (a stale manifest dir
+        would out-sniff a fresh .npz; a stale file blocks the dir)."""
+        from repro.index import ShardedIndex, VectorIndex, open_index
+
+        single = tmp_path / "single"
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(single)]) == 0
+        out = tmp_path / "merged"
+        assert main(["index", "merge", str(built / "tables"),
+                     str(single / "tables.npz"), "--out", str(out)]) == 0
+        assert isinstance(open_index(out), ShardedIndex)
+        assert main(["index", "merge", str(single / "tables.npz"),
+                     str(built / "tables"), "--out", str(out)]) == 0
+        assert isinstance(open_index(out), VectorIndex)
+        assert main(["index", "merge", str(built / "tables"),
+                     str(single / "tables.npz"), "--out", str(out)]) == 0
+        assert isinstance(open_index(out), ShardedIndex)
+
+    def test_query_future_format_exits_2(self, built, tmp_path, capsys):
+        """A newer manifest version must exit 2 with the version
+        message, matching the lifecycle commands' contract."""
+        import json
+        import shutil
+
+        broken = tmp_path / "idx"
+        shutil.copytree(built, broken)
+        manifest_path = broken / "tables" / "MANIFEST.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["manifest_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        code = main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(broken), "--table", "0"])
+        assert code == 2
+        assert "manifest v99" in capsys.readouterr().err
+
+    def test_build_invalid_shards_rejected(self, tmp_path, capsys):
+        code = main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--out", str(tmp_path / "idx"),
+                     "--shards", "0"])
+        assert code == 2
+        assert "--shards must be at least 1" in capsys.readouterr().err
+        assert not (tmp_path / "idx").exists()
+
+    def test_query_invalid_k_rejected(self, built, capsys):
+        """k < 1 exits 2 with a message instead of silently returning an
+        empty (or nonsensical) ranking."""
+        for bad_k in ("0", "-3"):
+            code = main(["index", "query", "cancerkg", "--n-tables", "6",
+                         "--index", str(built), "--table", "0", "--k", bad_k])
+            assert code == 2
+            assert "must be at least 1" in capsys.readouterr().err
+
+
 class TestIndexLifecycleCLI:
     """`index rm` / `index compact` / `index merge` end-to-end on a tmp
     corpus, including the error paths."""
