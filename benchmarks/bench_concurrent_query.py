@@ -1,0 +1,140 @@
+"""Concurrent query engine throughput: batched + threaded vs. serial.
+
+One synthetic corpus of seeded gaussian vectors is indexed as a single
+:class:`~repro.index.index.VectorIndex` and as
+:class:`~repro.index.sharded.ShardedIndex` layouts at each configured
+shard count.  The same query matrix then runs through every mode:
+
+- ``serial``        — one :meth:`query_vector` call per query (the
+  pre-concurrency baseline),
+- ``query_many``    — the batched path (band keys from one matmul per
+  band, scores from one similarity GEMM per shard),
+- ``jobs=N``        — the batched path with the per-shard fan-out
+  spread over N threads (sharded layouts only).
+
+Every mode must return rankings identical to the serial baseline (the
+equivalence is asserted, not just measured), so the QPS numbers isolate
+pure engine overhead/wins.  Results are written to
+``results/BENCH_concurrent_query.json`` in the shared ``BENCH_*.json``
+tracking shape.
+
+Run directly
+(``PYTHONPATH=src python benchmarks/bench_concurrent_query.py``) or via
+the smoke test in ``tests/index/test_bench_smoke.py``.
+
+NB: thread fan-out only *wins* with real parallel hardware and shard
+GEMMs big enough to amortize pool dispatch; on a single-core CI box the
+``jobs=N`` rows measure overhead, which is still worth tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.eval import ResultsTable, results_dir
+from repro.index import IndexSpec, ShardedIndex, VectorIndex
+
+SHARD_COUNTS = (2, 5)
+JOBS_COUNTS = (2, 4)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def _ranked(hits_per_query) -> list[list[tuple[str, float]]]:
+    return [[(hit.key, round(hit.score, 9)) for hit in hits]
+            for hits in hits_per_query]
+
+
+def run(n_vectors: int = 5000, dim: int = 64, n_queries: int = 200,
+        k: int = 10, shard_counts: tuple[int, ...] = SHARD_COUNTS,
+        jobs_counts: tuple[int, ...] = JOBS_COUNTS,
+        seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n_vectors, dim))
+    queries = rng.standard_normal((n_queries, dim))
+    keys = [f"k{i:06d}" for i in range(n_vectors)]
+    records = []
+
+    def record(mode: str, layout: str, seconds: float, got=None,
+               want=None) -> None:
+        if want is not None and got != want:
+            raise AssertionError(
+                f"{layout}/{mode} rankings diverged from the serial "
+                f"baseline — the concurrent engine is broken, timings are "
+                f"meaningless")
+        records.append({"op": "query", "mode": mode, "layout": layout,
+                        "n": n_queries, "seconds": seconds,
+                        "qps": n_queries / seconds if seconds else None})
+
+    single = VectorIndex(dim=dim, seed=seed)
+    single.add_batch(keys, vectors)
+
+    seconds, baseline = _timed(
+        lambda: [single.query_vector(q, k=k) for q in queries])
+    want = _ranked(baseline)
+    record("serial", "single", seconds)
+
+    seconds, batched = _timed(lambda: single.query_many(queries, k=k))
+    record("query_many", "single", seconds, _ranked(batched), want)
+
+    for n_shards in shard_counts:
+        layout = f"shards={n_shards}"
+        sharded = ShardedIndex.create(
+            IndexSpec(kind="vector", dim=dim, seed=seed), n_shards)
+        sharded.add_batch(keys, vectors)
+
+        seconds, serial = _timed(
+            lambda: [sharded.query_vector(q, k=k) for q in queries])
+        record("serial", layout, seconds, _ranked(serial), want)
+
+        seconds, batched = _timed(lambda: sharded.query_many(queries, k=k))
+        record("query_many", layout, seconds, _ranked(batched), want)
+
+        for jobs in jobs_counts:
+            seconds, fanned = _timed(
+                lambda: sharded.query_many(queries, k=k, jobs=jobs))
+            record(f"query_many jobs={jobs}", layout, seconds,
+                   _ranked(fanned), want)
+
+    return {
+        "benchmark": "concurrent_query",
+        "config": {"n_vectors": n_vectors, "dim": dim,
+                   "n_queries": n_queries, "k": k,
+                   "shard_counts": list(shard_counts),
+                   "jobs_counts": list(jobs_counts), "seed": seed},
+        "results": records,
+    }
+
+
+def render(report: dict) -> ResultsTable:
+    config = report["config"]
+    out = ResultsTable(
+        f"Concurrent query engine: {config['n_vectors']} vectors (dim "
+        f"{config['dim']}), {config['n_queries']} queries @ k={config['k']}",
+        columns=["n", "seconds", "qps"])
+    for rec in report["results"]:
+        row = f"{rec['layout']} {rec['mode']}"
+        out.add(row, "n", rec["n"])
+        out.add(row, "seconds", f"{rec['seconds']:.3f}")
+        out.add(row, "qps", f"{rec['qps']:.1f}" if rec["qps"] else "-")
+    return out
+
+
+def main() -> int:
+    report = run()
+    render(report).show()
+    path = results_dir() / "BENCH_concurrent_query.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"Wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,12 @@ Subcommands::
                                                            the sharded layout)
     python -m repro.cli index query <dataset> --index DIR  top-k neighbours of
                                                            a table (or one of
-                                                           its columns)
+                                                           its columns);
+                                                           --batch FILE runs
+                                                           many queries from a
+                                                           JSONL/npz file,
+                                                           --jobs N fans shard
+                                                           work over N threads
     python -m repro.cli index rm      <index> KEY...       tombstone entries
     python -m repro.cli index compact <index>              reclaim tombstones
     python -m repro.cli index merge   --out OUT A B...     merge saved indexes
@@ -162,6 +167,13 @@ def cmd_index_build(args: argparse.Namespace) -> int:
     if args.shards is not None and args.shards < 1:
         print("--shards must be at least 1", file=sys.stderr)
         return 2
+    if args.jobs is not None and args.jobs <= 0:
+        print("--jobs must be positive", file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.shards is None:
+        print("--jobs fans per-shard builds, so it requires --shards",
+              file=sys.stderr)
+        return 2
     tables = load_dataset(args.dataset, n_tables=args.n_tables, seed=args.seed)
     if not tables:
         print("cannot build an index over an empty corpus "
@@ -179,10 +191,12 @@ def cmd_index_build(args: argparse.Namespace) -> int:
     if args.shards is not None:
         table_index = TableIndex.build_sharded(
             embedder, tables, shards=args.shards, variant=args.variant,
-            seed=args.seed, batch_size=args.batch_size, workers=args.workers)
+            seed=args.seed, batch_size=args.batch_size, workers=args.workers,
+            build_workers=args.jobs)
         column_index = ColumnIndex.build_sharded(
             embedder, tables, shards=args.shards, seed=args.seed,
-            batch_size=args.batch_size, workers=args.workers)
+            batch_size=args.batch_size, workers=args.workers,
+            build_workers=args.jobs)
         table_path, column_path = out / "tables", out / "columns"
     else:
         table_index = TableIndex.build(embedder, tables, variant=args.variant,
@@ -217,6 +231,107 @@ def cmd_index_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_query_batch(path):
+    """Read a ``(Q, dim)`` query matrix (plus optional per-query exclude
+    keys) from ``--batch FILE``: an ``.npz`` with a ``queries`` array,
+    or JSONL where each line is a bare vector array or an object
+    ``{"vector": [...], "exclude": "key"}``."""
+    import json
+    from pathlib import Path
+
+    import numpy as np
+
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"no query batch file at {path}")
+    if path.suffix == ".npz":
+        with np.load(path) as archive:
+            if "queries" in archive.files:
+                queries = archive["queries"]
+            elif len(archive.files) == 1:
+                queries = archive[archive.files[0]]
+            else:
+                raise ValueError(f"{path} holds arrays {archive.files}; "
+                                 f"expected one named 'queries'")
+            queries = np.asarray(queries, float)
+        if queries.ndim != 2 or not len(queries):
+            raise ValueError(f"{path}: queries must be a non-empty 2-D "
+                             f"matrix, got shape {queries.shape}")
+        return queries, None
+    vectors: list[list[float]] = []
+    excludes: list[str | None] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{lineno}: not valid JSON: {error}")
+        vector = record.get("vector") if isinstance(record, dict) else record
+        if (not isinstance(vector, list) or not vector
+                or not all(isinstance(x, (int, float))
+                           and not isinstance(x, bool) for x in vector)):
+            raise ValueError(f"{path}:{lineno}: each line must be a "
+                             f"non-empty numeric vector (or an object with "
+                             f"a 'vector' field)")
+        if vectors and len(vector) != len(vectors[0]):
+            raise ValueError(f"{path}:{lineno}: vector has {len(vector)} "
+                             f"dims, earlier queries have {len(vectors[0])}")
+        vectors.append(vector)
+        excludes.append(record.get("exclude")
+                        if isinstance(record, dict) else None)
+    if not vectors:
+        raise ValueError(f"{path} holds no queries")
+    return np.asarray(vectors, float), excludes
+
+
+def _run_batch_query(args) -> int:
+    """``index query --batch``: many raw query vectors, ranked results
+    per query as JSON lines (machine-consumable).  The corpus arguments
+    are ignored — batch vectors already live in the embedding space, so
+    neither the dataset nor the model checkpoint is loaded."""
+    import json
+    from pathlib import Path
+
+    from .index import open_index
+
+    if args.column is not None:
+        print("--batch and --column are mutually exclusive; pick the index "
+              "with --kind instead", file=sys.stderr)
+        return 2
+    try:
+        queries, excludes = _load_query_batch(args.batch)
+    except (FileNotFoundError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    index_dir = Path(args.index)
+    try:
+        index = open_index(index_dir / f"{args.kind}s")
+    except FileNotFoundError:
+        print(f"no index at {index_dir} (run `index build ... --out "
+              f"{index_dir}` first)", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if index.kind != args.kind:
+        print(f"{index_dir} holds a {index.kind!r} index, expected "
+              f"{args.kind!r}", file=sys.stderr)
+        return 2
+    if queries.shape[1] != index.dim:
+        print(f"query batch has dim {queries.shape[1]}, index expects "
+              f"{index.dim}", file=sys.stderr)
+        return 2
+    results = index.query_many(queries, k=args.k, excludes=excludes,
+                               jobs=args.jobs)
+    for q, hits in enumerate(results):
+        print(json.dumps({"query": q,
+                          "hits": [{"key": hit.key, "score": hit.score}
+                                   for hit in hits]}))
+    return 0
+
+
 def cmd_index_query(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -225,6 +340,11 @@ def cmd_index_query(args: argparse.Namespace) -> int:
     if args.k < 1:
         print("-k/--k must be at least 1", file=sys.stderr)
         return 2
+    if args.jobs is not None and args.jobs <= 0:
+        print("--jobs must be positive", file=sys.stderr)
+        return 2
+    if args.batch is not None:
+        return _run_batch_query(args)
     tables = load_dataset(args.dataset, n_tables=args.n_tables, seed=args.seed)
     if not 0 <= args.table < len(tables):
         print(f"--table must be in [0, {len(tables)})", file=sys.stderr)
@@ -263,12 +383,13 @@ def cmd_index_query(args: argparse.Namespace) -> int:
               f"matching corpus arguments (or rebuild)", file=sys.stderr)
         return 2
     if args.column is not None:
-        hits = index.query_column(embedder, table, args.column, k=args.k)
+        hits = index.query_column(embedder, table, args.column, k=args.k,
+                                  jobs=args.jobs)
         title = (f"Columns similar to {table.caption!r} "
                  f"[{table.column_label(args.column)}]")
         label = lambda hit: f"{hit.meta.get('caption')} [{hit.meta.get('label')}]"
     else:
-        hits = index.query_table(embedder, table, k=args.k)
+        hits = index.query_table(embedder, table, k=args.k, jobs=args.jobs)
         title = f"Tables similar to {table.caption!r}"
         label = lambda hit: str(hit.meta.get("caption"))
     out = ResultsTable(title, columns=["score"])
@@ -432,6 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit a sharded directory layout with N shards "
                               "(MANIFEST.json + shard-XXXX.npz) instead of "
                               "one .npz per index")
+    p_build.add_argument("--jobs", type=int, default=None,
+                         help="fan the per-shard builds across N processes "
+                              "(requires --shards; results identical to "
+                              "serial)")
     p_build.set_defaults(func=cmd_index_build)
 
     p_query = index_sub.add_parser("query", help="top-k neighbours from a "
@@ -444,6 +569,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--column", type=int, default=None,
                          help="query this column instead of the whole table")
     p_query.add_argument("--k", type=int, default=5)
+    p_query.add_argument("--batch", default=None, metavar="FILE",
+                         help="run many queries from FILE (.npz with a "
+                              "'queries' matrix, or JSONL vectors) and print "
+                              "ranked results per query as JSON lines; the "
+                              "corpus arguments are ignored")
+    p_query.add_argument("--kind", default="table",
+                         choices=("table", "column"),
+                         help="which index --batch queries target "
+                              "(default: table)")
+    p_query.add_argument("--jobs", type=int, default=None,
+                         help="fan per-shard query work across N threads "
+                              "(sharded layouts; results identical to "
+                              "serial)")
     p_query.set_defaults(func=cmd_index_query)
 
     p_rm = index_sub.add_parser("rm", help="tombstone entries of a saved "

@@ -34,6 +34,7 @@ CLI uses, so error messages and format-version checks live here and in
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Protocol, runtime_checkable
 
@@ -96,9 +97,80 @@ class ShardedDirBackend:
         if version > MANIFEST_VERSION:
             raise ValueError(f"{path} uses manifest v{version}; this build "
                              f"reads up to v{MANIFEST_VERSION}")
-        spec = IndexSpec.from_params(manifest["spec"])
-        shards = [VectorIndex.load(path / entry["file"])
-                  for entry in manifest["shards"]]
+        entries = manifest.get("shards")
+        spec_params = manifest.get("spec")
+        if (not isinstance(entries, list) or not isinstance(spec_params, dict)
+                or not all(isinstance(entry, dict) and "file" in entry
+                           for entry in entries)):
+            # A JSON-parseable manifest missing its required structure
+            # must still be one clear ValueError, not a KeyError
+            # traceback escaping open_index.
+            raise ValueError(
+                f"{path / MANIFEST_NAME} lacks the required 'spec'/'shards' "
+                f"structure — the layout is inconsistent (partial write or "
+                f"hand edit?)")
+        declared = manifest.get("n_shards", len(entries))
+        if declared != len(entries):
+            raise ValueError(
+                f"{path / MANIFEST_NAME} declares n_shards={declared} but "
+                f"lists {len(entries)} shard files — the layout is "
+                f"inconsistent (partial write or hand edit?)")
+        try:
+            spec = IndexSpec.from_params(spec_params)
+        except KeyError as error:
+            raise ValueError(
+                f"{path / MANIFEST_NAME} spec lacks required field "
+                f"{error} — the layout is inconsistent (partial write or "
+                f"hand edit?)") from error
+        # Validate every shard file *before* assembling the index, so a
+        # broken layout surfaces as one clear error at open time — never
+        # as a half-merged query result later.
+        shards = []
+        for entry in entries:
+            shard_path = path / entry["file"]
+            if not shard_path.is_file():
+                # ValueError, not FileNotFoundError: the layout *is*
+                # here, it just disagrees with its manifest — callers
+                # reserve FileNotFoundError for "no index at this path"
+                # (the CLI turns that into a "run index build" hint,
+                # which would be misleading for a broken layout).
+                raise ValueError(
+                    f"{path} is missing shard file {entry['file']!r} listed "
+                    f"in {MANIFEST_NAME} — the layout is inconsistent "
+                    f"(partial write or deletion?)")
+            if not zipfile.is_zipfile(shard_path):
+                # Truncation loses the zip end-of-central-directory
+                # record; garbage never had one.  np.load's own errors
+                # here are misleading ("pickled data"), so sniff first.
+                raise ValueError(f"shard file {shard_path} is corrupt or "
+                                 f"truncated (not a valid .npz archive)")
+            try:
+                shard = VectorIndex.load(shard_path)
+            except ValueError:
+                # Format-version rejections are already clear.
+                raise
+            except Exception as error:
+                # A well-formed zip that still fails to load (missing
+                # arrays, mangled payload) raises zipfile / KeyError /
+                # json flavours; normalize to one message.
+                raise ValueError(f"shard file {shard_path} is corrupt or "
+                                 f"truncated: {error}") from error
+            if shard.kind != spec.kind or shard.dim != spec.dim:
+                # The same rejection ShardedIndex.__init__ would raise,
+                # surfaced before the entry-count integrity check: a
+                # smuggled-in foreign shard should read as a vector-space
+                # mismatch, not as a corrupt layout.
+                raise ValueError(
+                    f"shard file {shard_path} is ({shard.kind!r}, dim "
+                    f"{shard.dim}), spec says ({spec.kind!r}, dim "
+                    f"{spec.dim})")
+            recorded = entry.get("entries")
+            if recorded is not None and len(shard) != recorded:
+                raise ValueError(
+                    f"shard file {shard_path} holds {len(shard)} live "
+                    f"entries but {MANIFEST_NAME} records {recorded} — the "
+                    f"layout is inconsistent (partial write or hand edit?)")
+            shards.append(shard)
         # ShardedIndex.__init__ re-validates kind/dim per shard, so a
         # hand-edited manifest cannot smuggle mismatched shards in.
         return ShardedIndex(spec, shards)

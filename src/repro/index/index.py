@@ -45,6 +45,34 @@ _PAYLOAD_KEY = "__index__"
 FORMAT_VERSION = 2
 
 
+#: Embedder installed in each ``build_sharded`` worker process by the
+#: pool initializer, so each worker unpickles the (cache-primed)
+#: embedder once instead of per partition.
+_BUILD_EMBEDDER = None
+
+
+def _init_build_worker(embedder) -> None:
+    global _BUILD_EMBEDDER
+    _BUILD_EMBEDDER = embedder
+
+
+def _build_partition(cls, partition: list, batch_size: int | None,
+                     build_kwargs: dict):
+    """One per-shard build in a worker process (top-level so it pickles
+    under every multiprocessing start method).  The global precompute
+    already primed the shipped embedder's cache, so this composes
+    vectors without any encoder forwards."""
+    return cls.build(_BUILD_EMBEDDER, partition, batch_size=batch_size,
+                     **build_kwargs)
+
+
+def _check_jobs(jobs: int | None) -> None:
+    """Shared validation for the ``jobs=`` thread fan-out knob — both
+    layouts reject non-positive counts the way ``k < 1`` is rejected."""
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+
+
 @dataclass(frozen=True)
 class SearchHit:
     """One ranked neighbour: external key, cosine score, display metadata."""
@@ -212,17 +240,87 @@ class VectorIndex:
                 for i, score in ranked[:k]]
 
     def query_vector(self, vector: np.ndarray, k: int = 10,
-                     exclude: str | None = None) -> list[SearchHit]:
+                     exclude: str | None = None,
+                     jobs: int | None = None) -> list[SearchHit]:
         """Top-k neighbours of ``vector``; ``exclude`` drops one key
         (typically the query's own fingerprint).  Ties break by key;
         ``k`` below 1 raises ``ValueError`` instead of silently
-        returning nothing."""
+        returning nothing.  ``jobs`` is accepted for surface parity with
+        :class:`~repro.index.sharded.ShardedIndex` (a single file has no
+        shards to fan out over)."""
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
+        _check_jobs(jobs)
         n_candidates, hits = self.query_partial(vector, k, exclude=exclude)
         if n_candidates < k:
             return self.query_brute(vector, k, exclude=exclude)
         return hits
+
+    def _exclude_ids(self, excludes, n_queries: int) -> list[int | None]:
+        """Map per-query exclude *keys* to shard-local lsh ids."""
+        if excludes is None:
+            return [None] * n_queries
+        excludes = list(excludes)
+        if len(excludes) != n_queries:
+            raise ValueError(f"excludes must align with the {n_queries} "
+                             f"queries, got {len(excludes)}")
+        return [self._id_of.get(key) if key is not None else None
+                for key in excludes]
+
+    def query_many(self, vectors: np.ndarray, k: int = 10,
+                   excludes: list[str | None] | None = None,
+                   jobs: int | None = None) -> list[list[SearchHit]]:
+        """Batched :meth:`query_vector`: top-k hits for every row of a
+        ``(Q, dim)`` query matrix in one pass — band keys from one
+        matmul per band, scores from one similarity GEMM — with the
+        brute-force fallback decided per query exactly as the serial
+        path would.  Rankings are identical to Q separate
+        :meth:`query_vector` calls (property-tested); ``excludes`` is an
+        optional per-query key list aligned with the rows.  ``jobs`` is
+        accepted for surface parity with
+        :class:`~repro.index.sharded.ShardedIndex`."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        _check_jobs(jobs)
+        vectors = np.asarray(vectors, float)
+        partials = self.query_partial_many(vectors, k, excludes=excludes)
+        short = [q for q, (count, _hits) in enumerate(partials) if count < k]
+        results = [hits for _count, hits in partials]
+        if short:
+            exclude_list = (None if excludes is None
+                            else [excludes[q] for q in short])
+            brute = self.query_brute_many(vectors[short], k,
+                                          excludes=exclude_list)
+            for q, hits in zip(short, brute):
+                results[q] = hits
+        return results
+
+    def query_partial_many(self, vectors: np.ndarray, k: int = 10,
+                           excludes: list[str | None] | None = None
+                           ) -> list[tuple[int, list[SearchHit]]]:
+        """Batched :meth:`query_partial`: one shard's contribution for a
+        whole query matrix, ``(candidate count, top-k hits)`` per row,
+        no brute-force fallback."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        vectors = np.asarray(vectors, float)
+        ids = self._exclude_ids(excludes, len(vectors))
+        # As in query_partial: rank all candidates, re-break ties by key
+        # in _hits, truncate after.
+        partials = self.lsh.query_partial_many(vectors, None, excludes=ids)
+        return [(count, self._hits(ranked, k)) for count, ranked in partials]
+
+    def query_brute_many(self, vectors: np.ndarray, k: int = 10,
+                         excludes: list[str | None] | None = None
+                         ) -> list[list[SearchHit]]:
+        """Batched :meth:`query_brute`: top-k over every live entry for
+        each query row, one similarity GEMM for the whole batch."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        vectors = np.asarray(vectors, float)
+        ids = self._exclude_ids(excludes, len(vectors))
+        rankings = self.lsh.query_brute_many(vectors, None, excludes=ids)
+        return [self._hits(ranked, k) for ranked in rankings]
 
     def query_partial(self, vector: np.ndarray, k: int = 10,
                       exclude: str | None = None
@@ -257,6 +355,7 @@ class VectorIndex:
     @classmethod
     def build_sharded(cls, embedder, tables: list[Table], shards: int = 4,
                       workers: int | None = None,
+                      build_workers: int | None = None,
                       batch_size: int | None = None, **build_kwargs):
         """Map-reduce corpus build: partition tables by fingerprint hash
         (the same routing :class:`~repro.index.sharded.ShardedIndex`
@@ -264,6 +363,15 @@ class VectorIndex:
         optionally scattered over ``workers`` processes — then run the
         ordinary ``cls.build`` per partition and assemble the shards
         under one :class:`~repro.index.sharded.ShardedIndex`.
+
+        ``workers`` also fans the **per-partition builds** across a
+        ``ProcessPoolExecutor`` (override with ``build_workers`` to
+        control the two stages separately): the embedder — with the
+        cache the one global precompute just primed — ships to each
+        worker once via the pool initializer, so the in-worker builds
+        are pure cache hits and compose vectors from exactly the pooled
+        vectors the serial path would use.  Built shards are gathered by
+        partition position; results match serial builds exactly.
 
         Only meaningful on subclasses that define ``build`` (``TableIndex``
         / ``ColumnIndex``); extra keyword arguments (``variant``,
@@ -276,6 +384,11 @@ class VectorIndex:
             raise ValueError(f"shards must be at least 1, got {shards}")
         if not tables:
             raise ValueError("cannot build an index over an empty corpus")
+        if build_workers is None:
+            build_workers = workers
+        if build_workers is not None and build_workers < 1:
+            raise ValueError(f"build_workers must be at least 1, "
+                             f"got {build_workers}")
         # Map step: one batched encode over the full corpus primes the
         # content-addressed cache, so the per-partition builds below are
         # pure cache hits (encode_corpus skips cached tables).
@@ -283,9 +396,25 @@ class VectorIndex:
         partitions: list[list[Table]] = [[] for _ in range(shards)]
         for table in tables:
             partitions[shard_of(table_fingerprint(table), shards)].append(table)
+        occupied = [(position, partition)
+                    for position, partition in enumerate(partitions)
+                    if partition]
         built: dict[int, VectorIndex] = {}
-        for position, partition in enumerate(partitions):
-            if partition:
+        if build_workers is not None and build_workers > 1 and len(occupied) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                    max_workers=min(build_workers, len(occupied)),
+                    initializer=_init_build_worker,
+                    initargs=(embedder,)) as pool:
+                futures = {position: pool.submit(_build_partition, cls,
+                                                 partition, batch_size,
+                                                 build_kwargs)
+                           for position, partition in occupied}
+                built = {position: future.result()
+                         for position, future in futures.items()}
+        else:
+            for position, partition in occupied:
                 built[position] = cls.build(embedder, partition,
                                             batch_size=batch_size,
                                             **build_kwargs)
@@ -486,10 +615,11 @@ class TableIndex(VectorIndex):
         return index
 
     def query_table(self, embedder, table: Table, k: int = 10,
-                    exclude_self: bool = True) -> list[SearchHit]:
+                    exclude_self: bool = True,
+                    jobs: int | None = None) -> list[SearchHit]:
         vector = embedder.table_embedding(table, variant=self.variant)
         exclude = table_fingerprint(table) if exclude_self else None
-        return self.query_vector(vector, k, exclude=exclude)
+        return self.query_vector(vector, k, exclude=exclude, jobs=jobs)
 
 
 class ColumnIndex(VectorIndex):
@@ -537,10 +667,11 @@ class ColumnIndex(VectorIndex):
         return index
 
     def query_column(self, embedder, table: Table, j: int, k: int = 10,
-                     exclude_self: bool = True) -> list[SearchHit]:
+                     exclude_self: bool = True,
+                     jobs: int | None = None) -> list[SearchHit]:
         vector = embedder.column_embedding(table, j, composite=self.composite)
         exclude = self.column_key(table, j) if exclude_self else None
-        return self.query_vector(vector, k, exclude=exclude)
+        return self.query_vector(vector, k, exclude=exclude, jobs=jobs)
 
 
 _KINDS = {cls.kind: cls for cls in (VectorIndex, TableIndex, ColumnIndex)}

@@ -16,6 +16,22 @@ the candidate total across all shards — so a sharded query returns
 exactly what one big index over the same corpus would (ties broken by
 key, which is content-addressed and therefore layout-independent).
 
+Queries also run *concurrently*, two orthogonal ways.  ``jobs=N`` fans
+the per-shard work of one call across a thread pool — NumPy releases
+the GIL inside the similarity GEMMs, so shards genuinely overlap — and
+the gather preserves shard order, so threaded results are bit-identical
+to the serial fan-out.  :meth:`query_many` takes a whole ``(Q, dim)``
+query matrix and pushes it through each shard's batched partial path
+(one hashing matmul per band, one similarity GEMM per shard) with the
+brute-force fallback decided per query on the global candidate total.
+
+The query path is **read-only**: no ``query_*`` method mutates shard
+state, so any number of threads may query one ``ShardedIndex``
+concurrently — with or without ``jobs=`` — as long as no writer
+(``add``/``remove``/``compact``/``merge``/``rebalance``) runs
+alongside them.  Writers are not synchronized with readers; interleave
+them under an external lock if a workload needs both.
+
 Lifecycle operations dispatch to the owning shard (``remove``), sum
 over shards (``compact``), or route incoming entries (``merge``, which
 accepts single-file and sharded sources alike).  After skewed merges —
@@ -26,12 +42,13 @@ live entry back to its hash owner.
 from __future__ import annotations
 
 import hashlib
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
 
 from ..retrieval.lsh import merge_ranked
-from .index import SearchHit, merge_into
+from .index import SearchHit, _check_jobs, merge_into
 from .spec import IndexSpec
 
 
@@ -244,22 +261,26 @@ class ShardedIndex:
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
-    def query_vector(self, vector: np.ndarray, k: int = 10,
-                     exclude: str | None = None) -> list[SearchHit]:
-        """Fan-out top-k: every shard ranks its own LSH candidates, the
-        partial rankings heap-merge into a global top-k.  Matches a
-        single index over the same corpus exactly — including the
-        brute-force fallback, which triggers on the candidate total
-        across shards, never per shard."""
-        if k < 1:
-            raise ValueError(f"k must be at least 1, got {k}")
-        partials = [shard.query_partial(vector, k, exclude=exclude)
-                    for shard in self.shards]
-        if sum(count for count, _hits in partials) < k:
-            rankings = [shard.query_brute(vector, k, exclude=exclude)
-                        for shard in self.shards]
-        else:
-            rankings = [hits for _count, hits in partials]
+    def _map_shards(self, fn, jobs: int | None) -> list:
+        """Apply ``fn`` to every shard, serially or — ``jobs > 1`` —
+        across a thread pool.  Results come back in shard order either
+        way, so downstream merges are order-stable and the threaded
+        fan-out is bit-identical to the serial one (per-shard arithmetic
+        is untouched; only the executor changes).  A shard failure
+        propagates out of the pool's context manager — no half-merged
+        results, no leaked threads."""
+        _check_jobs(jobs)
+        if jobs is None or jobs == 1 or len(self.shards) == 1:
+            return [fn(shard) for shard in self.shards]
+        with ThreadPoolExecutor(max_workers=min(jobs,
+                                                len(self.shards))) as pool:
+            return list(pool.map(fn, self.shards))
+
+    def _merge_partials(self, rankings: list[list[SearchHit]],
+                        k: int) -> list[SearchHit]:
+        """Heap-merge per-shard hit rankings into one global top-k,
+        deduping keys (a manually assembled layout may hold one key in
+        two shards)."""
         by_key: dict[str, SearchHit] = {}
         for ranking in rankings:
             for hit in ranking:
@@ -281,8 +302,73 @@ class ShardedIndex:
                 break
         return hits
 
+    def query_vector(self, vector: np.ndarray, k: int = 10,
+                     exclude: str | None = None,
+                     jobs: int | None = None) -> list[SearchHit]:
+        """Fan-out top-k: every shard ranks its own LSH candidates, the
+        partial rankings heap-merge into a global top-k.  Matches a
+        single index over the same corpus exactly — including the
+        brute-force fallback, which triggers on the candidate total
+        across shards, never per shard.  ``jobs=N`` spreads the
+        per-shard work over N threads with bit-identical results."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        partials = self._map_shards(
+            lambda shard: shard.query_partial(vector, k, exclude=exclude),
+            jobs)
+        if sum(count for count, _hits in partials) < k:
+            rankings = self._map_shards(
+                lambda shard: shard.query_brute(vector, k, exclude=exclude),
+                jobs)
+        else:
+            rankings = [hits for _count, hits in partials]
+        return self._merge_partials(rankings, k)
+
+    def query_many(self, vectors: np.ndarray, k: int = 10,
+                   excludes: list[str | None] | None = None,
+                   jobs: int | None = None) -> list[list[SearchHit]]:
+        """Batched fan-out: one ``(Q, dim)`` query matrix, top-k hits
+        per row.  Each shard runs its batched partial path (one hashing
+        matmul per band, one similarity GEMM per shard) over the whole
+        matrix; per query, the brute-force fallback is decided on the
+        candidate total across shards and the per-shard rankings
+        heap-merge exactly as :meth:`query_vector` would — rankings are
+        identical to Q serial single-query calls (property-tested).
+        ``excludes`` is an optional per-query key list aligned with the
+        rows; ``jobs=N`` fans the shards over N threads."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        matrix = np.asarray(vectors, float)
+        per_shard = self._map_shards(
+            lambda shard: shard.query_partial_many(matrix, k,
+                                                   excludes=excludes),
+            jobs)
+        # Global fallback decision, per query: sum candidate counts
+        # across shards, exactly the serial fan-out's rule.
+        short = [q for q in range(len(matrix))
+                 if sum(partials[q][0] for partials in per_shard) < k]
+        brute_by_query: dict[int, int] = {q: pos
+                                          for pos, q in enumerate(short)}
+        if short:
+            brute_excludes = (None if excludes is None
+                              else [excludes[q] for q in short])
+            brute_per_shard = self._map_shards(
+                lambda shard: shard.query_brute_many(matrix[short], k,
+                                                     excludes=brute_excludes),
+                jobs)
+        results: list[list[SearchHit]] = []
+        for q in range(len(matrix)):
+            if q in brute_by_query:
+                rankings = [brute[brute_by_query[q]]
+                            for brute in brute_per_shard]
+            else:
+                rankings = [partials[q][1] for partials in per_shard]
+            results.append(self._merge_partials(rankings, k))
+        return results
+
     def query_table(self, embedder, table, k: int = 10,
-                    exclude_self: bool = True) -> list[SearchHit]:
+                    exclude_self: bool = True,
+                    jobs: int | None = None) -> list[SearchHit]:
         """Table-kind counterpart of :meth:`TableIndex.query_table`."""
         from .fingerprint import table_fingerprint
 
@@ -292,10 +378,11 @@ class ShardedIndex:
         variant = self.spec.extra.get("variant", "tblcomp1")
         vector = embedder.table_embedding(table, variant=variant)
         exclude = table_fingerprint(table) if exclude_self else None
-        return self.query_vector(vector, k, exclude=exclude)
+        return self.query_vector(vector, k, exclude=exclude, jobs=jobs)
 
     def query_column(self, embedder, table, j: int, k: int = 10,
-                     exclude_self: bool = True) -> list[SearchHit]:
+                     exclude_self: bool = True,
+                     jobs: int | None = None) -> list[SearchHit]:
         """Column-kind counterpart of :meth:`ColumnIndex.query_column`."""
         from .fingerprint import table_fingerprint
 
@@ -306,7 +393,7 @@ class ShardedIndex:
         vector = embedder.column_embedding(table, j, composite=composite)
         exclude = (f"{table_fingerprint(table)}:{j}"
                    if exclude_self else None)
-        return self.query_vector(vector, k, exclude=exclude)
+        return self.query_vector(vector, k, exclude=exclude, jobs=jobs)
 
     # ------------------------------------------------------------------
     # Persistence

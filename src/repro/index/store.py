@@ -26,6 +26,7 @@ same stats.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -133,21 +134,49 @@ class EmbeddingStore:
             raise ValueError("batch_size must be positive")
         # (fingerprint, segment) -> list[(CellRef, np.ndarray)]
         self._cache: dict[tuple[str, str], list[tuple]] = {}
+        # Guards the encode-on-miss path in pooled(): concurrent query
+        # threads hitting one uncached table must encode it once, not
+        # race two encode_corpus calls over the same entry.  Cache hits
+        # stay lock-free (dict reads are atomic under the GIL), so the
+        # read-mostly query path does not serialize.
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        # Locks don't pickle; build_sharded ships the (cache-primed)
+        # store to per-shard build workers.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def pooled(self, table: Table, segment: str) -> list[tuple]:
         """(CellRef, vector) pairs for one table under one segment model,
-        encoding on demand when the table is not cached yet."""
+        encoding on demand when the table is not cached yet.
+
+        Safe to call from many threads at once: lookups on a primed
+        cache never block each other, and a miss encodes under a lock
+        (double-checked) so one table is encoded exactly once.  The
+        ``stats`` counters are advisory under concurrency.
+        """
         key = (table_fingerprint(table), segment)
         entry = self._cache.get(key)
         if entry is not None:
             self.stats.hits += 1
             return entry
-        self.stats.misses += 1
-        self.encode_corpus([table], segments=(segment,))
-        return self._cache[key]
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                return entry
+            self.stats.misses += 1
+            self.encode_corpus([table], segments=(segment,))
+            return self._cache[key]
 
     def contains(self, table: Table, segment: str) -> bool:
         return (table_fingerprint(table), segment) in self._cache

@@ -14,6 +14,22 @@ candidates and reports how many there were, so a fan-out caller can
 take the fallback decision globally (the per-shard candidate count says
 nothing about the union) and heap-merge the per-shard rankings with
 :func:`merge_ranked`.
+
+Both granularities also come *batched*: :meth:`CosineLSH.query_many` /
+:meth:`CosineLSH.query_partial_many` take a whole ``(Q, dim)`` query
+matrix, hash it with the same one-matmul-per-band pass bulk inserts use
+(:meth:`CosineLSH._key_matrix`) and score every (query, candidate) pair
+with **one** similarity GEMM over the union of candidates, instead of Q
+separate hash + score passes.  Rankings are the serial path's: the
+candidates are bit-identical (one shared hashing kernel), equal vectors
+score exactly equal (so ties break by the same id/key order), and
+distinct candidates' scores agree to floating-point roundoff — only a
+pair whose true scores differ by under one ulp could order differently,
+which the equivalence property tests treat as measure-zero.
+
+The whole query surface is read-only: no method on this class mutates
+index state after ``add``/``remove``, so concurrent queries from many
+threads are safe as long as no writer runs alongside them.
 """
 
 from __future__ import annotations
@@ -60,15 +76,27 @@ class CosineLSH:
         self._removed: set[int] = set()
 
     def _keys(self, vector: np.ndarray) -> list[int]:
-        signs = (self.planes @ np.asarray(vector, float)) > 0  # (bands, planes)
-        return (signs @ self._pows).tolist()
+        return self._key_matrix(np.asarray(vector, float)[None, :])[:, 0] \
+            .tolist()
 
     def _key_matrix(self, vectors: np.ndarray) -> np.ndarray:
         """Packed band keys for a whole matrix, shape ``(bands, N)`` —
-        one ``planes @ vectors.T`` matmul per band."""
+        one matmul per band instead of one per (vector, band).
+
+        The sign projections come from einsum, not BLAS ``@``: BLAS
+        picks shape-dependent kernels, so a projection within one ulp
+        of 0.0 could change sign between a single-vector and a batched
+        hash (or between two different batch sizes) and silently send
+        the same vector to different buckets.  einsum's accumulation
+        depends only on the reduction dim, so every hashing path —
+        ``add``, ``add_all``, ``remove``, serial and batched queries —
+        produces bit-identical keys for the same vector.  (The packing
+        matmul is integer arithmetic, which is exact.)
+        """
         keys = np.empty((self.n_bands, len(vectors)), dtype=np.int64)
         for b, band_planes in enumerate(self.planes):
-            keys[b] = ((band_planes @ vectors.T) > 0).T @ self._pows
+            signs = np.einsum("pd,nd->np", band_planes, vectors) > 0
+            keys[b] = signs @ self._pows
         return keys
 
     def add(self, vector: np.ndarray) -> int:
@@ -135,14 +163,139 @@ class CosineLSH:
         out: set[int] = set()
         for table, key in zip(self._tables, self._keys(vector)):
             out.update(table.get(key, ()))
-        # Belt and braces: remove() purges buckets by recomputing the
-        # stored vector's band keys, but bulk inserts hash through a
-        # different matmul shape (_key_matrix) — a last-bit rounding
-        # difference at a sign boundary could leave a tombstoned id in
-        # its original bucket.  Filtering here makes "removed ids are
-        # never candidates" unconditional.
+        # Belt and braces: every hashing path now goes through the
+        # shape-independent _key_matrix, so remove() recomputes exactly
+        # the keys the insert used — but filtering here keeps "removed
+        # ids are never candidates" unconditional rather than a
+        # property of the hashing kernel.
         out.difference_update(self._removed)
         return out
+
+    def candidates_many(self, vectors: np.ndarray) -> list[set[int]]:
+        """Per-query candidate sets for a whole ``(Q, dim)`` matrix —
+        the band keys come from one matmul per band
+        (:meth:`_key_matrix`) instead of Q separate hashing passes."""
+        matrix = self._as_query_matrix(vectors)
+        keys = self._key_matrix(matrix)          # (bands, Q)
+        out: list[set[int]] = []
+        for q in range(len(matrix)):
+            cands: set[int] = set()
+            for table, key in zip(self._tables, keys[:, q].tolist()):
+                cands.update(table.get(key, ()))
+            cands.difference_update(self._removed)
+            out.append(cands)
+        return out
+
+    def _as_query_matrix(self, vectors: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(vectors, float)
+        if matrix.ndim != 2 or matrix.shape[1] != self.dim:
+            raise ValueError(f"expected (Q, {self.dim}) query matrix, got "
+                             f"{matrix.shape}")
+        return matrix
+
+    @staticmethod
+    def _as_excludes(excludes, n_queries: int) -> list[int | None]:
+        if excludes is None:
+            return [None] * n_queries
+        excludes = list(excludes)
+        if len(excludes) != n_queries:
+            raise ValueError(f"excludes must align with the {n_queries} "
+                             f"queries, got {len(excludes)}")
+        return excludes
+
+    def _rank_many(self, ids_per_query: list[set[int]], matrix: np.ndarray,
+                   k: int | None) -> list[list[tuple[int, float]]]:
+        """Batched :meth:`_rank`: cosine-score every query's candidate
+        ids, best first, with **one** GEMM over the union of candidates
+        (``(C, dim) @ (dim, Q)``) instead of one dot product per (query,
+        candidate) pair.  Sort key is ``(-score, id)``, the serial
+        ranking's; scores agree with the serial ``cosine_similarity``
+        to floating-point roundoff (bit-equal for equal vectors, so
+        exact ties stay exact ties)."""
+        union = sorted(set().union(*ids_per_query)) if ids_per_query else []
+        if not union:
+            return [[] for _ in ids_per_query]
+        cand = np.stack([self._vectors[i] for i in union])
+        # The one similarity GEMM — via einsum, NOT ``cand @ matrix.T``:
+        # BLAS gemm picks shape-dependent kernels, so the same (query,
+        # vector) pair can score differently in different-size batches
+        # by one ulp.  Sharded fan-outs score each shard in its own
+        # batch, and a tie split across two shards (duplicate vectors)
+        # would then stop being an exact tie and break the
+        # score-then-key merge order.  einsum's sum-of-products loop
+        # depends only on the reduction dim, so equal pairs score
+        # bit-equal in every batch shape (pinned by the duplicate-tie
+        # property tests in tests/index/test_concurrent_query.py).
+        sims = np.einsum("cd,qd->cq", cand, matrix)
+        # Same zero-vector convention as cosine_similarity: either norm
+        # zero -> similarity 0, never a division warning.
+        denom = (np.linalg.norm(cand, axis=1)[:, None]
+                 * np.linalg.norm(matrix, axis=1)[None, :])
+        sims = np.divide(sims, denom, out=np.zeros_like(sims),
+                         where=denom != 0.0)
+        row_of = {idx: row for row, idx in enumerate(union)}
+        out: list[list[tuple[int, float]]] = []
+        for q, ids in enumerate(ids_per_query):
+            scored = [(i, float(sims[row_of[i], q])) for i in ids]
+            scored.sort(key=lambda pair: (-pair[1], pair[0]))
+            out.append(scored if k is None else scored[:k])
+        return out
+
+    def query_partial_many(self, vectors: np.ndarray, k: int | None,
+                           excludes=None
+                           ) -> list[tuple[int, list[tuple[int, float]]]]:
+        """Batched :meth:`query_partial`: one ``(n_candidates, top-k)``
+        pair per query row, no brute-force fallback.  ``excludes`` is an
+        optional per-query id list aligned with the rows."""
+        if k is not None and k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        matrix = self._as_query_matrix(vectors)
+        excludes = self._as_excludes(excludes, len(matrix))
+        cand_sets = self.candidates_many(matrix)
+        for cands, exclude in zip(cand_sets, excludes):
+            if exclude is not None:
+                cands.discard(exclude)
+        rankings = self._rank_many(cand_sets, matrix, k)
+        return [(len(cands), ranked)
+                for cands, ranked in zip(cand_sets, rankings)]
+
+    def query_brute_many(self, vectors: np.ndarray, k: int | None,
+                         excludes=None) -> list[list[tuple[int, float]]]:
+        """Batched :meth:`query_brute`: top-k over every live vector for
+        each query row, one similarity GEMM for the whole batch."""
+        if k is not None and k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        matrix = self._as_query_matrix(vectors)
+        excludes = self._as_excludes(excludes, len(matrix))
+        live = set(self.live_ids())
+        ids_per_query = []
+        for exclude in excludes:
+            ids = set(live)
+            if exclude is not None:
+                ids.discard(exclude)
+            ids_per_query.append(ids)
+        return self._rank_many(ids_per_query, matrix, k)
+
+    def query_many(self, vectors: np.ndarray, k: int,
+                   excludes=None) -> list[list[tuple[int, float]]]:
+        """Batched :meth:`query`: top-k per query row, falling back to
+        brute force — per query, exactly as the serial path decides —
+        whenever blocking delivered fewer than ``k`` candidates."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        matrix = self._as_query_matrix(vectors)
+        excludes = self._as_excludes(excludes, len(matrix))
+        partials = self.query_partial_many(matrix, k, excludes=excludes)
+        short = [q for q, (count, _ranked) in enumerate(partials)
+                 if count < k]
+        results = [ranked for _count, ranked in partials]
+        if short:
+            brute = self.query_brute_many(matrix[short], k,
+                                          excludes=[excludes[q]
+                                                    for q in short])
+            for q, ranked in zip(short, brute):
+                results[q] = ranked
+        return results
 
     def __len__(self) -> int:
         return len(self._vectors)

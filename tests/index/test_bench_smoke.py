@@ -62,6 +62,26 @@ def test_bench_sharded_query_smoke(tmp_path):
     assert "query single" in text and "query shards=2" in text
 
 
+def test_bench_concurrent_query_smoke(tmp_path):
+    bench = load_module("bench_concurrent_query")
+    report = bench.run(n_vectors=200, dim=16, n_queries=10, k=5,
+                       shard_counts=(2,), jobs_counts=(2,))
+    assert report["benchmark"] == "concurrent_query"
+    assert report["config"]["jobs_counts"] == [2]
+    modes = [(r["layout"], r["mode"]) for r in report["results"]]
+    assert modes == [("single", "serial"), ("single", "query_many"),
+                     ("shards=2", "serial"), ("shards=2", "query_many"),
+                     ("shards=2", "query_many jobs=2")]
+    for record in report["results"]:
+        assert record["seconds"] >= 0
+        assert record["n"] == 10
+    # The harness asserts every mode's rankings == the serial baseline;
+    # reaching here means the equivalence held at smoke scale.
+    (tmp_path / "BENCH_concurrent_query.json").write_text(json.dumps(report))
+    text = bench.render(report).to_text()
+    assert "single query_many" in text and "jobs=2" in text
+
+
 def test_bench_lifecycle_smoke(tmp_path):
     bench = load_module("bench_index_lifecycle")
     report = bench.run(n_vectors=200, dim=16, n_tables=4, vocab_size=200,

@@ -160,6 +160,39 @@ class TestEquivalenceProperty:
         assert len(sharded.query_vector(query, k)) == len(live)
 
 
+class TestThreadedFanOut:
+    """jobs=N only changes the executor: per-shard arithmetic and the
+    shard-ordered merge are untouched, so results are bit-identical."""
+
+    @pytest.mark.parametrize("jobs", (1, 2, 4))
+    def test_jobs_bit_identical_to_serial_fanout(self, jobs):
+        rng = random.Random(31)
+        live = {f"key{i:03d}": gaussian(rng) for i in range(30)}
+        _single, sharded = build_pair(3, live)
+        for _ in range(5):
+            query = gaussian(rng)
+            want = sharded.query_vector(query, 8)
+            got = sharded.query_vector(query, 8, jobs=jobs)
+            assert [(h.key, h.score) for h in got] == \
+                [(h.key, h.score) for h in want]    # full precision
+
+    def test_jobs_covers_the_global_fallback(self):
+        rng = random.Random(32)
+        live = {f"key{i:03d}": gaussian(rng) for i in range(10)}
+        single, sharded = build_pair(4, live)
+        query = gaussian(rng)
+        k = len(live)                       # forces the fallback globally
+        assert ranked(sharded.query_vector(query, k, jobs=2)) == \
+            ranked(single.query_vector(query, k))
+
+    def test_bad_jobs_rejected(self):
+        rng = random.Random(33)
+        _single, sharded = build_pair(2, {"a": gaussian(rng)})
+        for jobs in (0, -2):
+            with pytest.raises(ValueError, match="jobs"):
+                sharded.query_vector(gaussian(rng), 1, jobs=jobs)
+
+
 class TestRouting:
     def test_add_routes_to_hash_owner(self):
         rng = random.Random(9)

@@ -1,0 +1,67 @@
+"""Fuzz ``merge_ranked`` against a sorted-concatenation oracle.
+
+``merge_ranked`` is the reduce step of every sharded fan-out query, so
+its ordering contract — best score first, exact ties broken by item
+ascending — must hold for *any* pre-sorted inputs, not just the ones
+real indexes produce.  The oracle is the obviously-correct
+implementation: concatenate everything, sort by ``(-score, item)``,
+truncate to k.  Scores are drawn from a deliberately tiny pool so
+exact ties (including whole tied blocks straddling the k boundary) are
+the common case, not the measure-zero one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.retrieval import merge_ranked
+
+#: Tiny score pool -> dense exact ties.  Includes negatives and zero
+#: (cosine scores span [-1, 1]).
+TIED_SCORES = st.sampled_from((-1.0, -0.5, 0.0, 0.5, 0.5, 1.0))
+
+#: Small key alphabet -> the same item can appear in several rankings
+#: (a manually assembled layout may hold one key in two shards).
+KEYS = st.text(alphabet="abcdef", min_size=1, max_size=3)
+
+
+def oracle(rankings: list[list[tuple]], k: int) -> list[tuple]:
+    flat = [pair for ranking in rankings for pair in ranking]
+    flat.sort(key=lambda pair: (-pair[1], pair[0]))
+    return flat[:k]
+
+
+def sorted_rankings(scores=TIED_SCORES):
+    """Lists of rankings, each pre-sorted the way shards emit them."""
+    ranking = st.lists(st.tuples(KEYS, scores), max_size=12).map(
+        lambda pairs: sorted(pairs, key=lambda pair: (-pair[1], pair[0])))
+    return st.lists(ranking, max_size=6)
+
+
+class TestMergeRankedFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(rankings=sorted_rankings(), k=st.integers(1, 20))
+    def test_matches_sorted_concat_oracle_under_ties(self, rankings, k):
+        assert merge_ranked(rankings, k) == oracle(rankings, k)
+
+    @settings(max_examples=100, deadline=None)
+    @given(rankings=sorted_rankings(
+               scores=st.floats(-1.0, 1.0, allow_nan=False)),
+           k=st.integers(1, 20))
+    def test_matches_oracle_on_continuous_scores(self, rankings, k):
+        assert merge_ranked(rankings, k) == oracle(rankings, k)
+
+    @settings(max_examples=100, deadline=None)
+    @given(rankings=sorted_rankings(), k=st.integers(1, 20))
+    def test_merge_is_input_order_invariant(self, rankings, k):
+        """Which shard contributed a ranking must never matter."""
+        assert merge_ranked(list(reversed(rankings)), k) == \
+            merge_ranked(rankings, k)
+
+    @settings(max_examples=50, deadline=None)
+    @given(rankings=sorted_rankings(), k=st.integers(1, 20))
+    def test_prefix_consistency(self, rankings, k):
+        """The top-(k-1) is always a prefix of the top-k: a larger ask
+        may extend the ranking but never reorder it."""
+        if k > 1:
+            assert merge_ranked(rankings, k)[:k - 1] == \
+                merge_ranked(rankings, k - 1)

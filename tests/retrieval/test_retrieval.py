@@ -127,6 +127,42 @@ class TestLSH:
         # merging the single partial with empties reproduces it
         assert merge_ranked([ranked, [], []], 5) == ranked
 
+    def test_query_many_matches_serial_queries(self):
+        """The LSH-level batched path: same candidates (shared hashing
+        kernel), same rankings, same per-query fallback as N serial
+        query() calls."""
+        lsh = CosineLSH(dim=8, n_planes=6, n_bands=2, seed=0)
+        vectors = RNG.standard_normal((30, 8))
+        lsh.add_all(vectors)
+        queries = RNG.standard_normal((6, 8))
+        for k in (1, 3, 12, 35):
+            want = [lsh.query(q, k=k) for q in queries]
+            got = lsh.query_many(queries, k=k)
+            assert [[i for i, _s in r] for r in got] == \
+                [[i for i, _s in r] for r in want]
+            for got_r, want_r in zip(got, want):
+                for (_gi, gs), (_wi, ws) in zip(got_r, want_r):
+                    assert gs == pytest.approx(ws, abs=1e-12)
+        # candidates are bit-identical, so counts agree too
+        partials = lsh.query_partial_many(queries, 5)
+        for (count, _r), q in zip(partials, queries):
+            assert count == lsh.query_partial(q, 5)[0]
+
+    def test_query_many_excludes_and_validation(self):
+        lsh = CosineLSH(dim=8, n_planes=4, n_bands=2, seed=0)
+        vectors = RNG.standard_normal((10, 8))
+        lsh.add_all(vectors)
+        queries = vectors[:2]
+        got = lsh.query_many(queries, k=10, excludes=[0, None])
+        assert 0 not in [i for i, _s in got[0]]
+        assert 0 in [i for i, _s in got[1]]
+        with pytest.raises(ValueError, match="align"):
+            lsh.query_many(queries, k=2, excludes=[0])
+        with pytest.raises(ValueError, match="at least 1"):
+            lsh.query_many(queries, k=0)
+        with pytest.raises(ValueError, match="query matrix"):
+            lsh.query_many(np.ones(8), k=2)
+
     def test_merge_ranked_global_top_k(self):
         from repro.retrieval import merge_ranked
 

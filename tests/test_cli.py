@@ -473,3 +473,180 @@ class TestIndexLifecycleCLI:
                      "--out", str(tmp_path / "m.npz")])
         assert code == 2
         assert "model_id" in capsys.readouterr().err
+
+
+class TestConcurrentQueryCLI:
+    """`index query --batch FILE --jobs N` (many queries per call, JSON
+    lines out) and `index build --jobs N` (parallel per-shard builds)."""
+
+    @pytest.fixture(scope="class")
+    def built(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("concurrent") / "idx"
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(out), "--shards", "2"]) == 0
+        return out
+
+    @pytest.fixture(scope="class")
+    def queries(self, built):
+        """Three raw query vectors: two stored embeddings + their mean."""
+        import numpy as np
+
+        from repro.index import open_index
+
+        index = open_index(built / "tables")
+        keys = sorted(key for key, _vec, _meta in index.live_items())[:2]
+        vectors = np.stack([index.vector(key) for key in keys])
+        return np.vstack([vectors, vectors.mean(axis=0)])
+
+    def expected(self, built, queries, k=3, excludes=None):
+        """Serial query_vector baseline; scores rounded to 9 places (the
+        repo's equivalence convention — batched scores match serial ones
+        to floating-point roundoff, rankings exactly)."""
+        from repro.index import open_index
+
+        index = open_index(built / "tables")
+        excludes = excludes or [None] * len(queries)
+        return [[(h.key, round(h.score, 9))
+                 for h in index.query_vector(q, k, exclude=e)]
+                for q, e in zip(queries, excludes)]
+
+    def parse_lines(self, out):
+        import json
+
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert [r["query"] for r in records] == list(range(len(records)))
+        return [[(hit["key"], round(hit["score"], 9)) for hit in r["hits"]]
+                for r in records]
+
+    def test_batch_npz_matches_serial_queries(self, built, queries, tmp_path,
+                                              capsys):
+        import numpy as np
+
+        batch = tmp_path / "queries.npz"
+        np.savez(batch, queries=queries)
+        assert main(["index", "query", "cancerkg", "--index", str(built),
+                     "--batch", str(batch), "--k", "3", "--jobs", "2"]) == 0
+        got = self.parse_lines(capsys.readouterr().out)
+        assert got == self.expected(built, queries, k=3)
+
+    def test_batch_jsonl_with_excludes(self, built, queries, tmp_path,
+                                       capsys):
+        import json
+
+        from repro.index import open_index
+
+        index = open_index(built / "tables")
+        keys = sorted(key for key, _vec, _meta in index.live_items())
+        batch = tmp_path / "queries.jsonl"
+        lines = [json.dumps({"vector": list(queries[0]),
+                             "exclude": keys[0]}),
+                 json.dumps(list(queries[1]))]
+        batch.write_text("\n".join(lines) + "\n")
+        assert main(["index", "query", "cancerkg", "--index", str(built),
+                     "--batch", str(batch), "--k", "3"]) == 0
+        got = self.parse_lines(capsys.readouterr().out)
+        assert got == self.expected(built, queries[:2], k=3,
+                                    excludes=[keys[0], None])
+        assert keys[0] not in {key for key, _score in got[0]}
+
+    def test_batch_works_on_single_file_layout(self, queries, tmp_path,
+                                               capsys):
+        """--batch goes through open_index, so it serves either layout."""
+        import numpy as np
+
+        single = tmp_path / "single"
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(single)]) == 0
+        batch = tmp_path / "queries.npz"
+        np.savez(batch, queries=queries)
+        capsys.readouterr()
+        assert main(["index", "query", "cancerkg", "--index", str(single),
+                     "--batch", str(batch), "--k", "2"]) == 0
+        got = self.parse_lines(capsys.readouterr().out)
+        assert got == self.expected(single, queries, k=2)
+
+    def test_batch_dim_mismatch_rejected(self, built, tmp_path, capsys):
+        import numpy as np
+
+        batch = tmp_path / "bad_dim.npz"
+        np.savez(batch, queries=np.zeros((2, 3)))
+        assert main(["index", "query", "cancerkg", "--index", str(built),
+                     "--batch", str(batch)]) == 2
+        assert "dim" in capsys.readouterr().err
+
+    def test_batch_with_column_arg_rejected(self, built, tmp_path, capsys):
+        import numpy as np
+
+        batch = tmp_path / "queries.npz"
+        np.savez(batch, queries=np.zeros((1, 4)))
+        assert main(["index", "query", "cancerkg", "--index", str(built),
+                     "--batch", str(batch), "--column", "0"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_batch_malformed_jsonl_rejected(self, built, tmp_path, capsys):
+        batch = tmp_path / "bad.jsonl"
+        batch.write_text('{"vector": [1, 2]}\nnot json\n')
+        assert main(["index", "query", "cancerkg", "--index", str(built),
+                     "--batch", str(batch)]) == 2
+        assert "bad.jsonl:2" in capsys.readouterr().err
+
+    def test_batch_ragged_jsonl_rejected(self, built, tmp_path, capsys):
+        batch = tmp_path / "ragged.jsonl"
+        batch.write_text("[1.0, 2.0]\n[1.0, 2.0, 3.0]\n")
+        assert main(["index", "query", "cancerkg", "--index", str(built),
+                     "--batch", str(batch)]) == 2
+        assert "ragged.jsonl:2" in capsys.readouterr().err
+
+    def test_batch_missing_file_rejected(self, built, capsys):
+        assert main(["index", "query", "cancerkg", "--index", str(built),
+                     "--batch", "/nonexistent/queries.npz"]) == 2
+        assert "no query batch file" in capsys.readouterr().err
+
+    def test_bad_jobs_rejected(self, built, capsys):
+        assert main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(built), "--table", "0",
+                     "--jobs", "0"]) == 2
+        assert "--jobs must be positive" in capsys.readouterr().err
+
+    def test_single_query_with_jobs_identical_output(self, built, capsys):
+        assert main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(built), "--table", "1", "--k", "3"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["index", "query", "cancerkg", "--n-tables", "6",
+                     "--index", str(built), "--table", "1", "--k", "3",
+                     "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_build_jobs_requires_shards(self, tmp_path, capsys):
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--out", str(tmp_path / "idx"),
+                     "--jobs", "2"]) == 2
+        assert "requires --shards" in capsys.readouterr().err
+        assert not (tmp_path / "idx").exists()
+
+    def test_build_invalid_jobs_rejected_up_front(self, tmp_path, capsys):
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--out", str(tmp_path / "idx"),
+                     "--shards", "2", "--jobs", "0"]) == 2
+        assert "--jobs must be positive" in capsys.readouterr().err
+
+    def test_build_with_jobs_matches_serial_sharded_build(self, built,
+                                                          tmp_path, capsys):
+        """--jobs only changes the executor: the emitted sharded layout
+        must be entry-for-entry identical to the serial build."""
+        import numpy as np
+
+        from repro.index import open_index
+
+        out = tmp_path / "par"
+        assert main(["index", "build", "cancerkg", "--n-tables", "6",
+                     "--steps", "0", "--vocab-size", "300",
+                     "--out", str(out), "--shards", "2", "--jobs", "2"]) == 0
+        capsys.readouterr()
+        serial = open_index(built / "tables")
+        parallel = open_index(out / "tables")
+        for ours, theirs in zip(parallel.shards, serial.shards):
+            assert ours.keys == theirs.keys
+            assert np.array_equal(ours.lsh.vectors(), theirs.lsh.vectors())

@@ -96,6 +96,118 @@ class TestCorruptCheckpoints:
             TabBiNEmbedder.load(tmp_path / "ckpt", TabBiNConfig.tiny())
 
 
+class TestShardedLayoutCorruption:
+    """A broken sharded layout must surface one clear error at open
+    time — never a worker hang or a half-merged query result."""
+
+    @pytest.fixture()
+    def layout(self, tmp_path):
+        from repro.index import IndexSpec, ShardedIndex
+
+        rng = np.random.default_rng(0)
+        sharded = ShardedIndex.create(IndexSpec(kind="vector", dim=8), 3)
+        sharded.add_batch([f"key{i}" for i in range(12)],
+                          rng.standard_normal((12, 8)))
+        return sharded.save(tmp_path / "idx")
+
+    def test_missing_shard_file(self, layout):
+        """ValueError, not FileNotFoundError: the layout exists but
+        disagrees with its manifest (the CLI maps FileNotFoundError to
+        a 'run index build first' hint, wrong for a broken layout)."""
+        from repro.index import open_index
+
+        (layout / "shard-0001.npz").unlink()
+        with pytest.raises(ValueError) as error:
+            open_index(layout)
+        assert "shard-0001.npz" in str(error.value)
+        assert "MANIFEST" in str(error.value)
+
+    def test_truncated_shard_file(self, layout):
+        from repro.index import open_index
+
+        shard = layout / "shard-0002.npz"
+        shard.write_bytes(shard.read_bytes()[:25])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            open_index(layout)
+
+    def test_garbage_shard_file(self, layout):
+        from repro.index import open_index
+
+        (layout / "shard-0000.npz").write_bytes(b"not a zip archive")
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            open_index(layout)
+
+    def test_manifest_shard_count_mismatch(self, layout):
+        import json
+
+        from repro.index import open_index
+
+        manifest_path = layout / "MANIFEST.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["n_shards"] = 5
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="n_shards=5.*lists 3"):
+            open_index(layout)
+
+    def test_manifest_entry_count_mismatch(self, layout):
+        """A shard swapped in from another build (entry counts disagree
+        with the manifest) is an inconsistent layout, not data."""
+        import json
+
+        from repro.index import open_index
+
+        manifest_path = layout / "MANIFEST.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["shards"][1]["entries"] += 2
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="inconsistent"):
+            open_index(layout)
+
+    @pytest.mark.parametrize("drop", ["shards", "spec"])
+    def test_manifest_missing_required_key(self, layout, drop):
+        """A JSON-parseable manifest without its required structure is
+        one clear ValueError, not a KeyError traceback."""
+        import json
+
+        from repro.index import open_index
+
+        manifest_path = layout / "MANIFEST.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest[drop]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="required 'spec'/'shards'"):
+            open_index(layout)
+
+    def test_manifest_spec_missing_field(self, layout):
+        import json
+
+        from repro.index import open_index
+
+        manifest_path = layout / "MANIFEST.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["spec"]["dim"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="spec lacks required field"):
+            open_index(layout)
+
+    def test_garbage_manifest_is_a_value_error(self, layout):
+        """json.JSONDecodeError subclasses ValueError, so the CLI's
+        stderr + exit-2 contract covers an unparseable manifest too."""
+        from repro.index import open_index
+
+        (layout / "MANIFEST.json").write_text("{not json")
+        with pytest.raises(ValueError):
+            open_index(layout)
+
+    def test_intact_layout_still_opens(self, layout):
+        """The integrity checks must not reject a healthy layout."""
+        from repro.index import open_index
+
+        index = open_index(layout)
+        assert len(index) == 12
+        assert len(index.query_vector(np.zeros(8), k=3)) == 3
+
+
 class TestNaNRobustness:
     def test_layernorm_constant_input(self):
         """Zero-variance rows must not divide by zero."""
