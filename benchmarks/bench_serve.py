@@ -1,0 +1,193 @@
+"""Serving throughput: micro-batching vs one-request-per-GEMM dispatch.
+
+One synthetic corpus of seeded gaussian vectors is saved as a single
+``.npz`` and as sharded layouts, then served by
+:class:`~repro.serve.ServerThread` while ``n_clients`` threads hammer
+``POST /query`` with single-query requests over keep-alive connections
+— the workload micro-batching exists for.  Each layout runs twice:
+
+- ``per-request`` — ``max_batch=1, max_wait_ms=0``: every request is
+  its own ``query_many`` call, the dispatch a naive server would do;
+- ``micro-batch(w)`` — ``max_batch=64`` with a ``w``-millisecond
+  window: concurrent requests coalesce into shared GEMMs.
+
+Every served ranking is asserted identical to the offline
+``open_index().query_many`` result (JSON round-trips floats exactly),
+so the QPS numbers compare correct servers only.  Cold-open timings
+for eager vs memory-mapped loads of each layout are recorded too —
+the mmap rows are why ``repro.cli serve`` maps by default.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_serve.py``) or
+via the smoke test in ``tests/serve/test_serve_bench_smoke.py``.
+
+NB: on a single-core box the micro-batch win comes from shaving
+per-request Python/GEMM dispatch overhead, not from parallelism; both
+effects grow with real traffic and real hardware.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval import ResultsTable, results_dir
+from repro.index import IndexSpec, ShardedIndex, VectorIndex, open_index
+from repro.serve import ServerThread
+
+SHARD_COUNTS = (1, 5)
+WINDOWS_MS = (1.0, 4.0)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def _save_layout(root: Path, keys, vectors, n_shards: int, seed: int):
+    dim = vectors.shape[1]
+    if n_shards == 1:
+        index = VectorIndex(dim=dim, seed=seed)
+        index.add_batch(keys, vectors)
+        return index.save(root / "single.npz")
+    sharded = ShardedIndex.create(
+        IndexSpec(kind="vector", dim=dim, seed=seed), n_shards)
+    sharded.add_batch(keys, vectors)
+    return sharded.save(root / f"sharded-{n_shards}")
+
+
+def _hammer(port: int, queries: np.ndarray, k: int, n_clients: int,
+            want: list) -> float:
+    """Fire every query as its own request from ``n_clients`` keep-alive
+    client threads; assert each response equals the offline ranking;
+    return elapsed wall seconds."""
+    slices = [list(range(c, len(queries), n_clients))
+              for c in range(n_clients)]
+    failures: list[str] = []
+
+    def client(rows: list[int]) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            for q in rows:
+                body = json.dumps({"vector": queries[q].tolist(),
+                                   "k": k}).encode()
+                conn.request("POST", "/query", body=body,
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                if response.status != 200:
+                    failures.append(f"query {q}: status {response.status}")
+                    continue
+                got = [(hit["key"], hit["score"])
+                       for hit in payload["hits"]]
+                if got != want[q]:
+                    failures.append(f"query {q}: served ranking diverged")
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=client, args=(rows,))
+               for rows in slices if rows]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if failures:
+        raise AssertionError(
+            f"served rankings diverged from offline query_many — the "
+            f"server is broken, timings are meaningless: {failures[:3]}")
+    return elapsed
+
+
+def run(n_vectors: int = 20000, dim: int = 64, n_queries: int = 240,
+        k: int = 10, n_clients: int = 8,
+        shard_counts: tuple[int, ...] = SHARD_COUNTS,
+        windows_ms: tuple[float, ...] = WINDOWS_MS,
+        seed: int = 0, workdir: str | Path | None = None) -> dict:
+    import tempfile
+
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n_vectors, dim))
+    queries = rng.standard_normal((n_queries, dim))
+    keys = [f"k{i:06d}" for i in range(n_vectors)]
+    records = []
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(workdir) if workdir is not None else Path(scratch)
+        for n_shards in shard_counts:
+            layout = "single" if n_shards == 1 else f"shards={n_shards}"
+            path = _save_layout(root, keys, vectors, n_shards, seed)
+
+            seconds, offline = _timed(lambda: open_index(path))
+            records.append({"op": "open", "mode": "eager", "layout": layout,
+                            "n": n_vectors, "seconds": seconds, "qps": None})
+            seconds, served_index = _timed(
+                lambda: open_index(path, mmap=True))
+            records.append({"op": "open", "mode": "mmap", "layout": layout,
+                            "n": n_vectors, "seconds": seconds, "qps": None})
+
+            want = [[(hit.key, hit.score) for hit in hits]
+                    for hits in offline.query_many(queries, k=k)]
+
+            modes = [("per-request", dict(max_batch=1, max_wait_ms=0.0))]
+            modes += [(f"micro-batch(w={window:g}ms)",
+                       dict(max_batch=64, max_wait_ms=window))
+                      for window in windows_ms]
+            for mode, knobs in modes:
+                with ServerThread(served_index, **knobs) as handle:
+                    seconds = _hammer(handle.port, queries, k, n_clients,
+                                      want)
+                    snapshot = handle.server.stats.snapshot()
+                records.append({
+                    "op": "serve", "mode": mode, "layout": layout,
+                    "n": n_queries, "seconds": seconds,
+                    "qps": n_queries / seconds if seconds else None,
+                    "mean_batch": snapshot["batch"]["mean_size"],
+                    "p99_ms": snapshot["latency_ms"]["p99"],
+                })
+
+    return {
+        "benchmark": "serve",
+        "config": {"n_vectors": n_vectors, "dim": dim,
+                   "n_queries": n_queries, "k": k, "n_clients": n_clients,
+                   "shard_counts": list(shard_counts),
+                   "windows_ms": list(windows_ms), "seed": seed},
+        "results": records,
+    }
+
+
+def render(report: dict) -> ResultsTable:
+    config = report["config"]
+    out = ResultsTable(
+        f"Retrieval serving: {config['n_vectors']} vectors (dim "
+        f"{config['dim']}), {config['n_queries']} queries @ "
+        f"k={config['k']}, {config['n_clients']} clients",
+        columns=["seconds", "qps", "mean batch", "p99 ms"])
+    for rec in report["results"]:
+        row = f"{rec['layout']} {rec['op']} {rec['mode']}"
+        out.add(row, "seconds", f"{rec['seconds']:.3f}")
+        out.add(row, "qps", f"{rec['qps']:.1f}" if rec["qps"] else "-")
+        if rec.get("mean_batch") is not None:
+            out.add(row, "mean batch", f"{rec['mean_batch']:.1f}")
+        if rec.get("p99_ms") is not None:
+            out.add(row, "p99 ms", f"{rec['p99_ms']:.2f}")
+    return out
+
+
+def main() -> int:
+    report = run()
+    render(report).show()
+    path = results_dir() / "BENCH_serve.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"Wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,16 @@ Subcommands::
     python -m repro.cli index merge   --out OUT A B...     merge saved indexes
                                                            (dedupes by
                                                            fingerprint)
+    python -m repro.cli serve <index>                      HTTP retrieval
+                                                           server over a saved
+                                                           index: POST /query,
+                                                           GET /healthz,
+                                                           GET /stats;
+                                                           micro-batched,
+                                                           memory-mapped by
+                                                           default, graceful
+                                                           drain on SIGINT/
+                                                           SIGTERM
 
 Saved indexes are opened through :func:`repro.index.open_index`, so
 every lifecycle command accepts either layout — a single ``.npz`` file
@@ -290,7 +300,14 @@ def _run_batch_query(args) -> int:
     """``index query --batch``: many raw query vectors, ranked results
     per query as JSON lines (machine-consumable).  The corpus arguments
     are ignored — batch vectors already live in the embedding space, so
-    neither the dataset nor the model checkpoint is loaded."""
+    neither the dataset nor the model checkpoint is loaded.
+
+    Output *streams*: queries run through ``query_many`` in chunks of
+    ``--chunk`` and each chunk's JSON lines are flushed as soon as it
+    completes, so a consumer piping a huge batch sees results
+    incrementally instead of waiting for the whole file.  Chunking
+    cannot change rankings — every query's result (including its
+    brute-force fallback decision) depends only on its own row."""
     import json
     from pathlib import Path
 
@@ -323,12 +340,28 @@ def _run_batch_query(args) -> int:
         print(f"query batch has dim {queries.shape[1]}, index expects "
               f"{index.dim}", file=sys.stderr)
         return 2
-    results = index.query_many(queries, k=args.k, excludes=excludes,
-                               jobs=args.jobs)
-    for q, hits in enumerate(results):
-        print(json.dumps({"query": q,
-                          "hits": [{"key": hit.key, "score": hit.score}
-                                   for hit in hits]}))
+    try:
+        for start in range(0, len(queries), args.chunk):
+            chunk_excludes = (None if excludes is None
+                              else excludes[start:start + args.chunk])
+            results = index.query_many(queries[start:start + args.chunk],
+                                       k=args.k, excludes=chunk_excludes,
+                                       jobs=args.jobs)
+            for q, hits in enumerate(results, start):
+                print(json.dumps({"query": q,
+                                  "hits": [{"key": hit.key,
+                                            "score": hit.score}
+                                           for hit in hits]}), flush=True)
+    except BrokenPipeError:
+        # The consumer (`head`, a closed socket) stopped reading: stop
+        # producing and exit cleanly, Unix-style.  Redirect stdout to
+        # devnull so the interpreter's exit-time flush doesn't raise a
+        # second BrokenPipeError after we've handled this one.
+        import contextlib
+        import os
+
+        with contextlib.suppress(Exception):
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -342,6 +375,9 @@ def cmd_index_query(args: argparse.Namespace) -> int:
         return 2
     if args.jobs is not None and args.jobs <= 0:
         print("--jobs must be positive", file=sys.stderr)
+        return 2
+    if args.chunk < 1:
+        print("--chunk must be at least 1", file=sys.stderr)
         return 2
     if args.batch is not None:
         return _run_batch_query(args)
@@ -495,6 +531,66 @@ def cmd_index_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the async retrieval server over one saved index.
+
+    The index is opened once — memory-mapped unless ``--no-mmap`` — and
+    served until SIGINT/SIGTERM, which triggers a graceful drain:
+    in-flight requests complete, the micro-batch dispatcher flushes,
+    then the process exits 0."""
+    import asyncio
+    import signal
+
+    from .index import open_index
+    from .serve import RetrievalServer
+
+    if args.max_batch < 1:
+        print("--max-batch must be at least 1", file=sys.stderr)
+        return 2
+    if args.max_wait_ms < 0:
+        print("--max-wait-ms must be >= 0", file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs <= 0:
+        print("--jobs must be positive", file=sys.stderr)
+        return 2
+    try:
+        index = open_index(args.path, mmap=not args.no_mmap)
+    except (FileNotFoundError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        server = RetrievalServer(index, host=args.host, port=args.port,
+                                 max_batch=args.max_batch,
+                                 max_wait_ms=args.max_wait_ms,
+                                 jobs=args.jobs, log_path=args.log_file)
+        await server.start()
+        print(f"Serving {index.kind} index ({len(index)} entries, "
+              f"{'mmap' if not args.no_mmap else 'eager'}) on "
+              f"http://{args.host}:{server.port} — POST /query, "
+              f"GET /healthz, GET /stats", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-posix
+                pass
+        try:
+            await stop.wait()
+        finally:
+            print("Draining in-flight requests ...", flush=True)
+            await server.shutdown()
+            print(f"Served {server.stats.requests_total} requests "
+                  f"({server.stats.queries_total} queries)")
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -582,6 +678,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fan per-shard query work across N threads "
                               "(sharded layouts; results identical to "
                               "serial)")
+    p_query.add_argument("--chunk", type=int, default=64,
+                         help="with --batch, run queries through "
+                              "query_many this many at a time, streaming "
+                              "each chunk's JSON lines as it completes "
+                              "(default 64; rankings are unaffected)")
     p_query.set_defaults(func=cmd_index_query)
 
     p_rm = index_sub.add_parser("rm", help="tombstone entries of a saved "
@@ -608,6 +709,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output path (written in the first input's "
                               "layout)")
     p_merge.set_defaults(func=cmd_index_merge)
+
+    p_serve = sub.add_parser("serve", help="serve a saved index over HTTP "
+                                           "(micro-batched, memory-mapped)")
+    p_serve.add_argument("path", help="saved index (.npz file or sharded "
+                                      "dir), e.g. out/tables")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="listen port (0 picks an ephemeral port; "
+                              "default 8080)")
+    p_serve.add_argument("--max-batch", type=int, default=32,
+                         help="flush a micro-batch once this many queries "
+                              "are pending (default 32)")
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="flush a micro-batch this long after its "
+                              "first query arrives (default 2.0)")
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="fan per-shard work of each micro-batch over "
+                              "N threads (sharded layouts)")
+    p_serve.add_argument("--no-mmap", action="store_true",
+                         help="read vector matrices eagerly instead of "
+                              "memory-mapping them")
+    p_serve.add_argument("--log-file", default=None,
+                         help="append an access/drain log to this file "
+                              "(default: $REPRO_SERVE_LOG if set)")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

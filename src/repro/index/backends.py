@@ -61,8 +61,9 @@ class IndexBackend(Protocol):
         """Whether ``path`` looks like this backend's layout."""
         ...
 
-    def load(self, path: Path):
-        """Load the index stored at ``path``."""
+    def load(self, path: Path, mmap: bool = False):
+        """Load the index stored at ``path``; ``mmap=True`` memory-maps
+        the vector matrices read-only instead of reading them eagerly."""
         ...
 
     def save(self, index, path: Path) -> Path:
@@ -77,8 +78,8 @@ class SingleFileBackend:
         return (path.is_file()
                 or path.with_name(path.name + ".npz").is_file())
 
-    def load(self, path: Path) -> VectorIndex:
-        return VectorIndex.load(path)
+    def load(self, path: Path, mmap: bool = False) -> VectorIndex:
+        return VectorIndex.load(path, mmap=mmap)
 
     def save(self, index: VectorIndex, path: Path) -> Path:
         return index.save(path)
@@ -90,7 +91,7 @@ class ShardedDirBackend:
     def handles(self, path: Path) -> bool:
         return (path / MANIFEST_NAME).is_file()
 
-    def load(self, path: Path) -> ShardedIndex:
+    def load(self, path: Path, mmap: bool = False) -> ShardedIndex:
         path = Path(path)
         manifest = json.loads((path / MANIFEST_NAME).read_text())
         version = manifest.get("manifest_version", 1)
@@ -145,7 +146,7 @@ class ShardedDirBackend:
                 raise ValueError(f"shard file {shard_path} is corrupt or "
                                  f"truncated (not a valid .npz archive)")
             try:
-                shard = VectorIndex.load(shard_path)
+                shard = VectorIndex.load(shard_path, mmap=mmap)
             except ValueError:
                 # Format-version rejections are already clear.
                 raise
@@ -205,7 +206,8 @@ BACKENDS: tuple[IndexBackend, ...] = (ShardedDirBackend(),
                                       SingleFileBackend())
 
 
-def open_index(path: str | Path) -> VectorIndex | ShardedIndex:
+def open_index(path: str | Path,
+               mmap: bool = False) -> VectorIndex | ShardedIndex:
     """Open a saved index of either layout.
 
     Returns a :class:`VectorIndex` subclass for single ``.npz`` files
@@ -213,11 +215,19 @@ def open_index(path: str | Path) -> VectorIndex | ShardedIndex:
     manifest directories.  Both expose the same query/lifecycle surface
     (``query_vector``, ``remove``, ``compact``, ``merge``, ``save``),
     so callers need not care which layout they got.
+
+    ``mmap=True`` memory-maps every vector matrix read-only instead of
+    reading it eagerly — the cold-open mode the retrieval server uses:
+    huge sharded layouts open without paying a full read, queries page
+    in only the candidate rows they score, and results are bit-identical
+    to an eager load (property-tested).  The mapped arrays are
+    write-protected, so an accidental writeback raises instead of
+    corrupting the file.
     """
     path = Path(path)
     for backend in BACKENDS:
         if backend.handles(path):
-            return backend.load(path)
+            return backend.load(path, mmap=mmap)
     if path.is_dir():
         raise FileNotFoundError(
             f"{path} is a directory without {MANIFEST_NAME} — not a "

@@ -11,7 +11,13 @@ Indexes round-trip to a single ``.npz`` file: the vector matrix is
 stored as an array, everything else (keys, metadata, LSH and embedding
 parameters) as a JSON blob.  Loading re-derives the LSH buckets with one
 vectorized ``add_all`` — the hyperplanes are seeded, so buckets are
-bit-identical across processes.
+bit-identical across processes.  Files written since the serving work
+additionally persist the packed LSH band keys (``band_keys``, an
+optional array older readers simply ignore), so a reload rebuilds the
+buckets from the saved keys instead of re-hashing every vector — and
+``load(mmap=True)`` memory-maps the vector matrix straight out of the
+(uncompressed) ``.npz`` member, making a cold open touch no vector data
+at all: queries page in only the candidate rows they actually score.
 
 Corpora churn, so indexes have a lifecycle beyond ``build``:
 :meth:`VectorIndex.remove` tombstones an entry (dropped from the LSH
@@ -43,6 +49,59 @@ _PAYLOAD_KEY = "__index__"
 #: version up to this one and reject newer files with a clear error
 #: instead of silently mis-reading them.
 FORMAT_VERSION = 2
+
+#: Name ``np.savez`` gives the vector-matrix member inside the archive.
+_VECTORS_MEMBER = "vectors.npy"
+
+
+def _mmap_npz_member(path: Path, name: str = _VECTORS_MEMBER) -> np.ndarray:
+    """Memory-map one array member of an ``.npz`` archive, read-only.
+
+    ``np.load(..., mmap_mode=...)`` ignores the mode for zipped
+    archives, so this locates the member's data inside the zip by hand:
+    ``np.savez`` stores members uncompressed (``ZIP_STORED``), which
+    means the raw ``.npy`` bytes sit contiguously at a knowable offset —
+    local file header, then the npy header, then the data.  The returned
+    ``np.memmap`` is opened ``mode="r"``: every row handed out is
+    read-only, so an accidental writeback anywhere in the query or
+    lifecycle paths raises instead of silently corrupting the mapping.
+
+    Members that *are* compressed (no writer in this repo produces them)
+    raise ``ValueError`` so the caller can fall back to an eager read.
+    """
+    import zipfile
+
+    from numpy.lib import format as npy_format
+
+    with zipfile.ZipFile(path) as archive:
+        info = archive.getinfo(name)
+        if info.compress_type != zipfile.ZIP_STORED:
+            raise ValueError(f"{name} in {path} is compressed; only stored "
+                             f"members can be memory-mapped")
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local_header = handle.read(30)
+        if local_header[:4] != b"PK\x03\x04":
+            raise ValueError(f"{path}: corrupt zip local header for {name}")
+        # The *local* header's name/extra lengths can differ from the
+        # central directory's (zip tools pad extras), so read them here.
+        name_len = int.from_bytes(local_header[26:28], "little")
+        extra_len = int.from_bytes(local_header[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_len + extra_len)
+        version = npy_format.read_magic(handle)
+        try:
+            read_header = {(1, 0): npy_format.read_array_header_1_0,
+                           (2, 0): npy_format.read_array_header_2_0}[version]
+        except KeyError:
+            raise ValueError(f"{path}: unsupported npy format version "
+                             f"{version} for member {name}") from None
+        shape, fortran_order, dtype = read_header(handle)
+        if dtype.hasobject:
+            raise ValueError(f"{path}: member {name} holds objects and "
+                             f"cannot be memory-mapped")
+        offset = handle.tell()
+    return np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=shape,
+                     order="F" if fortran_order else "C")
 
 
 #: Embedder installed in each ``build_sharded`` worker process by the
@@ -437,7 +496,14 @@ class VectorIndex:
     def save(self, path: str | Path) -> Path:
         """Write the full lifecycle state — dense vectors *including*
         tombstoned slots plus the tombstone id list — so a loaded index
-        is an exact replica mid-lifecycle, not a silently compacted one."""
+        is an exact replica mid-lifecycle, not a silently compacted one.
+
+        The packed LSH band keys ride along as an extra ``band_keys``
+        array (still format v2 — older readers only look at ``vectors``
+        and the payload, so the addition is invisible to them).  They
+        let :meth:`load` rebuild the buckets without re-hashing, which
+        is what makes ``mmap=True`` opens skip the vector data
+        entirely."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"format_version": FORMAT_VERSION,
@@ -445,21 +511,27 @@ class VectorIndex:
                               "meta": self.meta,
                               "tombstones": sorted(self.lsh.removed)})
         np.savez(path, vectors=self.lsh.vectors(),
+                 band_keys=self.lsh.band_keys_matrix(),
                  **{_PAYLOAD_KEY: np.frombuffer(payload.encode("utf-8"),
                                                 dtype=np.uint8)})
         return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
     @classmethod
     def _from_payload(cls, params: dict, keys: list[str], meta: list[dict],
-                      vectors: np.ndarray,
-                      tombstones: list[int]) -> "VectorIndex":
+                      vectors: np.ndarray, tombstones: list[int],
+                      band_keys: np.ndarray | None = None) -> "VectorIndex":
         index = cls(params["dim"], n_planes=params["n_planes"],
                     n_bands=params["n_bands"], seed=params["seed"])
         index.corpus = params.get("corpus", {})
         index.model_id = params.get("model_id")
         index._restore_extra(params)
         if len(keys):
-            index.lsh.add_all(vectors)
+            # No copy: the matrix was freshly read (or memory-mapped)
+            # for this load, so no other owner can mutate it out from
+            # under the buckets.  Keeping memmap rows as-is is what lets
+            # queries page in only the candidates they score.
+            index.lsh._attach(np.asarray(vectors, float),
+                              band_keys=band_keys, copy=False)
             index.keys = list(keys)
             index.meta = list(meta)
             for idx in tombstones:
@@ -475,7 +547,15 @@ class VectorIndex:
         """Hook for subclasses to restore extra saved parameters."""
 
     @classmethod
-    def load(cls, path: str | Path) -> "VectorIndex":
+    def load(cls, path: str | Path, mmap: bool = False) -> "VectorIndex":
+        """Load a saved index.  ``mmap=True`` memory-maps the vector
+        matrix read-only instead of reading it eagerly: when the file
+        also carries saved ``band_keys`` (anything written since the
+        serving work), the open touches *no* vector data — queries then
+        page in only the candidate rows they score.  Legacy v1/v2 files
+        without saved keys still open under mmap; they pay one streamed
+        hashing pass over the mapping, but never a resident in-heap
+        copy.  Results are bit-identical either way."""
         path = Path(path)
         if not path.is_file():
             # save("foo.idx") writes "foo.idx.npz" (numpy appends the
@@ -488,18 +568,36 @@ class VectorIndex:
                 path = appended
         with np.load(path) as archive:
             payload = json.loads(bytes(archive[_PAYLOAD_KEY]).decode("utf-8"))
-            vectors = archive["vectors"]
+            band_keys = (archive["band_keys"]
+                         if "band_keys" in archive.files else None)
+            vectors = None if mmap else archive["vectors"]
+        if mmap:
+            try:
+                vectors = _mmap_npz_member(path)
+            except ValueError:
+                # A compressed or otherwise unmappable member (no writer
+                # here produces one): fall back to the eager read rather
+                # than refuse to serve the index.
+                with np.load(path) as archive:
+                    vectors = archive["vectors"]
         version = payload.get("format_version", 1)
         if version > FORMAT_VERSION:
             raise ValueError(f"{path} uses index format v{version}; this "
                              f"build reads up to v{FORMAT_VERSION}")
         params = payload["params"]
+        if band_keys is not None and band_keys.shape != (
+                len(vectors), params.get("n_bands", 0)):
+            # A foreign writer (or hand edit) whose keys don't line up:
+            # re-hash rather than rebuild wrong buckets.
+            band_keys = None
         target = _KINDS.get(params.get("kind"), cls)
         if cls is not VectorIndex and target is not cls:
             raise ValueError(f"{path} holds a {params.get('kind')!r} index, "
                              f"not {cls.kind!r}")
         return target._from_payload(params, payload["keys"], payload["meta"],
-                                    vectors, payload.get("tombstones", []))
+                                    vectors, payload.get("tombstones", []),
+                                    band_keys=None if band_keys is None
+                                    else np.asarray(band_keys, np.int64).T)
 
 
 def load_index(path: str | Path) -> VectorIndex:

@@ -30,7 +30,11 @@ state, so any number of threads may query one ``ShardedIndex``
 concurrently — with or without ``jobs=`` — as long as no writer
 (``add``/``remove``/``compact``/``merge``/``rebalance``) runs
 alongside them.  Writers are not synchronized with readers; interleave
-them under an external lock if a workload needs both.
+them under an external lock if a workload needs both.  The same
+read-only property is what lets ``open_index(path, mmap=True)`` back
+every shard with a write-protected memory mapping (the serving
+default): queries page in only the candidate rows they score, and any
+accidental writeback raises instead of corrupting the layout.
 
 Lifecycle operations dispatch to the owning shard (``remove``), sum
 over shards (``compact``), or route incoming entries (``merge``, which

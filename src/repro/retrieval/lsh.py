@@ -70,6 +70,13 @@ class CosineLSH:
         self._pows = 1 << np.arange(n_planes, dtype=np.int64)
         self._tables: list[dict[int, list[int]]] = [dict() for _ in range(n_bands)]
         self._vectors: list[np.ndarray] = []
+        # Packed band keys per id, recorded at insert time.  remove()
+        # reads these instead of re-hashing the stored vector (the keys
+        # are what the insert used, by construction), and persistence
+        # saves them so a reload can rebuild the buckets without
+        # touching the vector data at all — the property that lets
+        # memory-mapped opens skip the full read.
+        self._band_keys: list[tuple[int, ...]] = []
         # Tombstoned ids: dropped from band buckets on remove() but kept
         # in _vectors so ids stay positional until a caller-side rebuild
         # (see VectorIndex.compact) reclaims the slots.
@@ -107,23 +114,45 @@ class CosineLSH:
         # Copy: storing a view would let later caller-side mutation
         # desynchronize stored vectors from their band buckets.
         self._vectors.append(np.array(vector, dtype=float))
-        for table, key in zip(self._tables, self._keys(vector)):
+        keys = self._keys(vector)
+        self._band_keys.append(tuple(keys))
+        for table, key in zip(self._tables, keys):
             table.setdefault(key, []).append(idx)
         return idx
 
     def add_all(self, vectors: np.ndarray) -> list[int]:
         """Bulk insert; one hashing matmul per band instead of one per
         (vector, band).  Returns the assigned ids."""
-        matrix = np.asarray(vectors, float)
+        return self._attach(np.asarray(vectors, float))
+
+    def _attach(self, matrix: np.ndarray, band_keys: np.ndarray | None = None,
+                copy: bool = True) -> list[int]:
+        """Bulk-insert ``matrix`` rows, optionally reusing precomputed
+        ``(bands, N)`` packed band keys and — ``copy=False`` — storing
+        row *views* instead of copies.
+
+        The no-copy path exists for loaders: a freshly read (or
+        memory-mapped) matrix has no other owner, so aliasing cannot
+        desynchronize the buckets, and keeping the memmap's rows is what
+        makes queries page in only the candidates they score.  With
+        saved ``band_keys`` the buckets rebuild without reading a single
+        vector byte — a memory-mapped cold open does no data I/O.
+        """
         if matrix.ndim != 2 or matrix.shape[1] != self.dim:
             raise ValueError(f"expected (N, {self.dim}) matrix, got "
                              f"{matrix.shape}")
+        if band_keys is None:
+            band_keys = self._key_matrix(matrix)
+        elif band_keys.shape != (self.n_bands, len(matrix)):
+            raise ValueError(f"expected ({self.n_bands}, {len(matrix)}) band "
+                             f"keys, got {band_keys.shape}")
         start = len(self._vectors)
-        keys = self._key_matrix(matrix)
-        self._vectors.extend(np.array(matrix, copy=True))
-        for table, band in zip(self._tables, keys):
-            for offset, key in enumerate(band.tolist()):
+        self._vectors.extend(np.array(matrix, copy=True) if copy else matrix)
+        per_band = [band.tolist() for band in band_keys]
+        for table, band in zip(self._tables, per_band):
+            for offset, key in enumerate(band):
                 table.setdefault(key, []).append(start + offset)
+        self._band_keys.extend(zip(*per_band))
         return list(range(start, start + len(matrix)))
 
     def remove(self, idx: int) -> None:
@@ -136,7 +165,9 @@ class CosineLSH:
         """
         if not 0 <= idx < len(self._vectors) or idx in self._removed:
             raise KeyError(f"no live vector with id {idx}")
-        for table, key in zip(self._tables, self._keys(self._vectors[idx])):
+        # The keys recorded at insert time, not a re-hash: bit-identical
+        # by construction, and no page faults on a memory-mapped store.
+        for table, key in zip(self._tables, self._band_keys[idx]):
             bucket = table.get(key)
             if bucket is not None and idx in bucket:
                 bucket.remove(idx)
@@ -309,6 +340,14 @@ class CosineLSH:
         if not self._vectors:
             return np.zeros((0, self.dim))
         return np.stack(self._vectors)
+
+    def band_keys_matrix(self) -> np.ndarray:
+        """Packed band keys of every stored vector as an ``(N, bands)``
+        int64 matrix — what persistence saves so a reload can rebuild
+        the buckets without re-hashing (or even reading) the vectors."""
+        return np.array(self._band_keys,
+                        dtype=np.int64).reshape(len(self._vectors),
+                                                self.n_bands)
 
     def _rank(self, ids, vector: np.ndarray,
               k: int | None) -> list[tuple[int, float]]:

@@ -1,0 +1,32 @@
+"""Async retrieval serving over a saved index.
+
+The served front-end for the concurrent query engine: one
+:func:`~repro.index.open_index` handle (memory-mapped by default from
+the CLI, so cold starts of huge sharded layouts read no vector data),
+an asyncio HTTP/1.1 server (:class:`RetrievalServer`), and a
+micro-batching dispatcher (:class:`MicroBatchDispatcher`) that
+coalesces concurrent requests into shared ``query_many`` GEMMs while
+keeping every served ranking identical to the offline CLI path.
+
+Start one from the command line with ``python -m repro.cli serve``, or
+in-process (tests, benchmarks) with :class:`ServerThread`.
+"""
+
+from .dispatcher import MicroBatchDispatcher
+from .protocol import (
+    DEFAULT_MAX_BODY,
+    ProtocolError,
+    Request,
+    parse_query_payload,
+    read_request,
+    render_response,
+)
+from .server import LOG_ENV, RetrievalServer, ServerThread
+from .stats import ServerStats
+
+__all__ = [
+    "RetrievalServer", "ServerThread", "MicroBatchDispatcher",
+    "ServerStats", "ProtocolError", "Request", "read_request",
+    "render_response", "parse_query_payload", "DEFAULT_MAX_BODY",
+    "LOG_ENV",
+]

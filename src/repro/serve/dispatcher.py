@@ -1,0 +1,186 @@
+"""Micro-batching dispatcher: many concurrent requests, one GEMM.
+
+The serving hot path is the same observation that motivated
+``query_many``: scoring Q queries in one similarity GEMM per shard is
+far cheaper than Q separate passes.  A server receives those Q queries
+*concurrently* rather than as one matrix, so the dispatcher coalesces
+them: requests enqueue into a pending list, and a *tick* — fired when
+``max_batch`` queries are waiting or ``max_wait_ms`` has elapsed since
+the first enqueue, whichever comes first — stacks them into one matrix
+and runs one :meth:`query_many` call per distinct ``k`` in the batch.
+
+Grouping by ``k`` is a correctness requirement, not a convenience: the
+brute-force fallback triggers when a query's LSH candidate count is
+below *its* ``k``, so folding a ``k=2`` query into a ``k=10`` batch
+could flip it onto the brute-force path (or off it) and change its
+top-2.  Within one ``k`` group, ``query_many`` is property-tested
+identical to serial ``query_vector`` calls — so a served ranking is
+pinned to what the offline CLI path returns, no matter which requests
+it was batched with.
+
+The actual GEMMs run in the event loop's default thread-pool executor:
+NumPy releases the GIL inside them, so the loop keeps accepting and
+coalescing the next tick's requests while the current tick computes.
+Results are demultiplexed back onto per-request futures by position —
+each request sees exactly its own rows and nothing else (the soak tests
+hammer this with duplicate-vector ties from many threads).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from functools import partial
+
+import numpy as np
+
+
+class _Pending:
+    """One enqueued query awaiting its tick."""
+
+    __slots__ = ("vector", "k", "exclude", "future")
+
+    def __init__(self, vector, k, exclude, future):
+        self.vector = vector
+        self.k = k
+        self.exclude = exclude
+        self.future = future
+
+
+class MicroBatchDispatcher:
+    """Coalesce concurrent queries into ``query_many`` ticks.
+
+    Parameters
+    ----------
+    index:
+        Anything with the ``query_many(matrix, k=, excludes=, jobs=)``
+        surface — a :class:`~repro.index.index.VectorIndex` subclass or
+        a :class:`~repro.index.sharded.ShardedIndex`.
+    max_batch:
+        Flush as soon as this many queries are pending (a tick may
+        exceed it only when one request carries a bigger batch than
+        this, in which case that request's overflow rides the next
+        tick).
+    max_wait_ms:
+        Flush this many milliseconds after the *first* query of a tick
+        arrived, even if the batch is not full.  ``0`` flushes on the
+        next loop iteration — lowest latency, smallest batches.
+    jobs:
+        Passed through to ``query_many`` to fan per-shard work over a
+        thread pool inside the tick.
+    """
+
+    def __init__(self, index, max_batch: int = 32,
+                 max_wait_ms: float = 2.0, jobs: int | None = None,
+                 stats=None):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        self.index = index
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.jobs = jobs
+        self.stats = stats
+        self._pending: list[_Pending] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._inflight: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection (stats endpoint / drain loop)
+    # ------------------------------------------------------------------
+    @property
+    def n_pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def n_inflight(self) -> int:
+        return len(self._inflight)
+
+    # ------------------------------------------------------------------
+    # Enqueue
+    # ------------------------------------------------------------------
+    async def submit_many(self, matrix: np.ndarray, k: int,
+                          excludes: list[str | None]) -> list[list]:
+        """Enqueue every row of ``matrix`` and await all results.
+
+        Rows join the shared pending list individually, so one client's
+        batch coalesces with other clients' concurrent singles; results
+        come back aligned with the rows.  A failed tick propagates its
+        exception to every affected caller.
+        """
+        loop = asyncio.get_running_loop()
+        futures: list[asyncio.Future] = []
+        for vector, exclude in zip(matrix, excludes):
+            future = loop.create_future()
+            self._pending.append(_Pending(vector, k, exclude, future))
+            futures.append(future)
+            if len(self._pending) >= self.max_batch:
+                self.flush_now()
+            elif self._timer is None:
+                self._timer = loop.call_later(self.max_wait_ms / 1000.0,
+                                              self.flush_now)
+        return await asyncio.gather(*futures)
+
+    # ------------------------------------------------------------------
+    # Ticks
+    # ------------------------------------------------------------------
+    def flush_now(self) -> None:
+        """Start a tick for everything currently pending (no-op when
+        nothing is).  Safe to call at any time — the drain loop uses it
+        to hurry stragglers out during shutdown."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        task = asyncio.get_running_loop().create_task(self._run_batch(batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        groups: dict[int, list[_Pending]] = {}
+        for item in batch:
+            groups.setdefault(item.k, []).append(item)
+        # Groups run concurrently (gather, not a sequential loop): a
+        # mixed-k tick's latency is the slowest group's GEMM, not the
+        # sum of all of them.
+        await asyncio.gather(*(self._run_group(k, members)
+                               for k, members in groups.items()))
+
+    async def _run_group(self, k: int, members: list[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        matrix = np.stack([item.vector for item in members])
+        excludes = [item.exclude for item in members]
+        if self.stats is not None:
+            self.stats.record_batch(len(members))
+        try:
+            results = await loop.run_in_executor(
+                None, partial(self.index.query_many, matrix, k=k,
+                              excludes=excludes, jobs=self.jobs))
+        except Exception as error:
+            for item in members:
+                if not item.future.done():
+                    item.future.set_exception(error)
+        else:
+            # Demux strictly by position: row i of the group's matrix
+            # is member i's query, so member i gets result i.
+            for item, hits in zip(members, results):
+                if not item.future.done():
+                    item.future.set_result(hits)
+
+    async def drain(self) -> None:
+        """Flush pending queries and wait for every in-flight tick —
+        the dispatcher half of graceful shutdown."""
+        self.flush_now()
+        while self._inflight or self._pending:
+            self.flush_now()
+            if self._inflight:
+                await asyncio.gather(*list(self._inflight),
+                                     return_exceptions=True)
+            else:
+                # A submitter raced in between flush and here; yield so
+                # it lands, then loop.
+                await asyncio.sleep(0)

@@ -1,0 +1,357 @@
+"""The retrieval server: asyncio HTTP front-end over one open index.
+
+:class:`RetrievalServer` holds one :func:`~repro.index.open_index`
+handle (typically opened ``mmap=True``, so even a huge sharded layout
+boots without reading its vector data) and serves:
+
+- ``POST /query``   — single or batch JSON queries, answered from the
+  micro-batching dispatcher so concurrent requests share GEMMs; served
+  rankings are pinned identical to the offline ``query_many`` path.
+- ``GET /healthz``  — liveness plus index identity (kind/dim/entries).
+- ``GET /stats``    — QPS, latency percentiles, batch-size shape, and
+  dispatcher backlog.
+
+The query path never writes to the index, so one server instance
+handles any number of concurrent connections without locks; the only
+writer-adjacent machinery is shutdown, which *drains*: the listener
+closes, idle keep-alive connections are disconnected, in-flight
+requests run to completion (the dispatcher flushes their queries), and
+only then does :meth:`RetrievalServer.shutdown` return.
+
+:class:`ServerThread` wraps a server in a background thread with its
+own event loop — the harness the e2e/soak tests and the serving
+benchmark use to run server and clients in one process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import threading
+import time
+from pathlib import Path
+
+from .dispatcher import MicroBatchDispatcher
+from .protocol import (
+    DEFAULT_MAX_BODY,
+    STREAM_LIMIT,
+    ProtocolError,
+    Request,
+    format_hits,
+    json_body,
+    parse_query_payload,
+    read_request,
+    render_response,
+)
+from .stats import ServerStats
+
+#: Environment variable naming a file the server appends its access log
+#: to (CI tails it on failure); constructor argument wins over it.
+LOG_ENV = "REPRO_SERVE_LOG"
+
+
+class _Connection:
+    """Per-connection state the drain logic needs: whether the handler
+    is mid-request (must finish) or idle between keep-alive requests
+    (safe to disconnect), and whether the current request arrived after
+    draining began (rejected with 503) or was already in flight (served
+    to completion — the drain guarantee)."""
+
+    __slots__ = ("writer", "busy", "reject")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.busy = False
+        self.reject = False
+
+
+class RetrievalServer:
+    """Serve one opened index over hand-rolled HTTP/1.1."""
+
+    def __init__(self, index, host: str = "127.0.0.1", port: int = 0, *,
+                 max_batch: int = 32, max_wait_ms: float = 2.0,
+                 jobs: int | None = None, max_body: int = DEFAULT_MAX_BODY,
+                 drain_timeout: float = 10.0,
+                 log_path: str | Path | None = None):
+        self.index = index
+        self.host = host
+        self._requested_port = port
+        self.max_body = max_body
+        self.drain_timeout = drain_timeout
+        self.stats = ServerStats()
+        self.dispatcher = MicroBatchDispatcher(index, max_batch=max_batch,
+                                               max_wait_ms=max_wait_ms,
+                                               jobs=jobs, stats=self.stats)
+        self._server: asyncio.Server | None = None
+        self._connections: set[_Connection] = set()
+        self._draining = False
+        self._stopped = asyncio.Event()
+        if log_path is None:
+            log_path = os.environ.get(LOG_ENV) or None
+        self._log_path = None if log_path is None else Path(log_path)
+        self._log_handle = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral pick)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._log_path is not None:
+            self._log_path.parent.mkdir(parents=True, exist_ok=True)
+            self._log_handle = open(self._log_path, "a", encoding="utf-8")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port,
+            limit=STREAM_LIMIT)
+        self._log(f"serving kind={self.index.kind} dim={self.index.dim} "
+                  f"entries={len(self.index)} on "
+                  f"http://{self.host}:{self.port}")
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes (CLI entry point)."""
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight requests,
+        flush the dispatcher, then return.  Idempotent."""
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        self._log("draining: listener closing")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Idle keep-alive connections are parked in readline; closing
+        # their transports turns that into a clean EOF.  Busy ones keep
+        # running — their response is the whole point of draining.
+        for connection in list(self._connections):
+            if not connection.busy:
+                connection.writer.close()
+        await self.dispatcher.drain()
+        deadline = time.monotonic() + self.drain_timeout
+        while self._connections and time.monotonic() < deadline:
+            # A handler that read its request just before the listener
+            # closed may enqueue queries *during* the drain; keep
+            # hurrying the dispatcher until every handler has answered.
+            self.dispatcher.flush_now()
+            await asyncio.sleep(0.01)
+        for connection in list(self._connections):
+            self._log("drain timeout: force-closing a connection")
+            connection.writer.close()
+        self._log(f"stopped after {self.stats.requests_total} requests / "
+                  f"{self.stats.queries_total} queries")
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
+        self._stopped.set()
+
+    def _log(self, message: str) -> None:
+        if self._log_handle is not None:
+            stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+            self._log_handle.write(f"{stamp} {message}\n")
+            self._log_handle.flush()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        loop = asyncio.get_running_loop()
+        try:
+            def mark_request_started() -> None:
+                # Fires the moment a request line arrives: busy makes a
+                # concurrent drain wait for this request (even if the
+                # client is still streaming its body) instead of
+                # severing the upload; reject records whether draining
+                # had *already* begun, in which case the request gets a
+                # 503 rather than sneaking in behind the drain.
+                connection.busy = True
+                connection.reject = self._draining
+
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.max_body,
+                        on_request_line=mark_request_started)
+                except ProtocolError as error:
+                    started = loop.time()
+                    self._respond_error(writer, error)
+                    self.stats.record_response(error.status,
+                                               loop.time() - started)
+                    await writer.drain()
+                    connection.busy = False
+                    if error.close:
+                        break
+                    continue
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if request is None:
+                    break
+                started = loop.time()
+                try:
+                    status, payload, n_queries = await self._respond(
+                        request, reject=connection.reject)
+                except Exception as error:  # noqa: BLE001 - last resort
+                    # A bug must produce one 500, not a dead connection.
+                    status, payload, n_queries = 500, {"error": repr(error)}, 0
+                keep_alive = (request.keep_alive and not self._draining
+                              and status < 500)
+                writer.write(render_response(status, json_body(payload),
+                                             keep_alive=keep_alive))
+                await writer.drain()
+                latency = loop.time() - started
+                self.stats.record_response(status, latency,
+                                           n_queries=n_queries)
+                self._log(f"{request.method} {request.target} -> {status} "
+                          f"({n_queries} queries, {latency * 1000:.2f} ms)")
+                connection.busy = False
+                if not keep_alive:
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            self._connections.discard(connection)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _respond_error(self, writer: asyncio.StreamWriter,
+                       error: ProtocolError) -> None:
+        self._log(f"protocol error -> {error.status}: {error.message}")
+        writer.write(render_response(error.status,
+                                     json_body({"error": error.message}),
+                                     keep_alive=not error.close))
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _respond(self, request: Request,
+                       reject: bool = False) -> tuple[int, dict, int]:
+        """Route one request; returns ``(status, payload, n_queries)``.
+
+        ``reject`` means the request *arrived after* draining began (a
+        keep-alive client racing the shutdown): it gets a 503.  A
+        request already in flight when the drain started is served
+        normally — that is the drain guarantee."""
+        if reject:
+            return 503, {"error": "server is draining"}, 0
+        if request.target == "/query":
+            if request.method != "POST":
+                return 405, {"error": "/query takes POST"}, 0
+            return await self._respond_query(request)
+        if request.target == "/healthz":
+            if request.method != "GET":
+                return 405, {"error": "/healthz takes GET"}, 0
+            return 200, {
+                "status": "ok",
+                "kind": self.index.kind,
+                "dim": self.index.dim,
+                "entries": len(self.index),
+                "shards": getattr(self.index, "n_shards", 1),
+            }, 0
+        if request.target == "/stats":
+            if request.method != "GET":
+                return 405, {"error": "/stats takes GET"}, 0
+            snapshot = self.stats.snapshot()
+            snapshot["dispatcher"] = {
+                "pending": self.dispatcher.n_pending,
+                "in_flight_batches": self.dispatcher.n_inflight,
+                "max_batch": self.dispatcher.max_batch,
+                "max_wait_ms": self.dispatcher.max_wait_ms,
+            }
+            return 200, snapshot, 0
+        return 404, {"error": f"no route {request.target!r}"}, 0
+
+    async def _respond_query(self,
+                             request: Request) -> tuple[int, dict, int]:
+        try:
+            matrix, k, excludes, single = parse_query_payload(
+                request.body, self.index.dim)
+        except ProtocolError as error:
+            return error.status, {"error": error.message}, 0
+        results = await self.dispatcher.submit_many(matrix, k, excludes)
+        if single:
+            return 200, {"hits": format_hits(results[0])}, 1
+        return 200, {"results": [{"hits": format_hits(hits)}
+                                 for hits in results]}, len(results)
+
+
+class ServerThread:
+    """A :class:`RetrievalServer` on a background thread's event loop.
+
+    Context-manager harness for in-process clients (tests, the serving
+    benchmark)::
+
+        with ServerThread(index, max_wait_ms=1.0) as handle:
+            requests.post(f"http://127.0.0.1:{handle.port}/query", ...)
+
+    ``__exit__`` performs the same graceful drain the CLI's signal
+    handler does, so in-flight requests finish before the thread joins.
+    """
+
+    def __init__(self, index, **server_kwargs):
+        self.server = RetrievalServer(index, **server_kwargs)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._stopped = False
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._started.is_set():
+            raise RuntimeError("server thread failed to start in time")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as error:  # noqa: BLE001 - reported to starter
+            self._startup_error = error
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.run_until_complete(loop.shutdown_default_executor())
+            loop.close()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._stopped or self._loop is None:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(self.server.shutdown(),
+                                                  self._loop)
+        future.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

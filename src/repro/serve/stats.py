@@ -1,0 +1,104 @@
+"""Serving metrics: QPS, latency percentiles, micro-batch shapes.
+
+All recording happens on the server's event-loop thread (handlers and
+the dispatcher both live there), so the counters need no locks; the
+``/stats`` endpoint serves :meth:`ServerStats.snapshot` from the same
+thread.  Latencies and batch sizes live in bounded deques — a soak run
+cannot grow server memory — and QPS is computed over a sliding window
+of recent completions rather than the whole uptime, so it reflects the
+current load, not the average since boot.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+
+
+def percentile(values: list[float], q: float) -> float | None:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 1])."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
+class ServerStats:
+    """Counters + reservoirs behind ``GET /stats``."""
+
+    def __init__(self, window_seconds: float = 60.0, reservoir: int = 2048):
+        self.window_seconds = window_seconds
+        self.started_at = time.monotonic()
+        self.requests_total = 0
+        self.queries_total = 0
+        self.responses_by_status: Counter[int] = Counter()
+        self.batches_dispatched = 0
+        self._latencies: deque[float] = deque(maxlen=reservoir)
+        self._batch_sizes: deque[int] = deque(maxlen=reservoir)
+        #: ``(completed_at, n_queries)`` pairs inside the QPS window.
+        self._completions: deque[tuple[float, int]] = deque()
+
+    # ------------------------------------------------------------------
+    # Recording (event-loop thread only)
+    # ------------------------------------------------------------------
+    def record_response(self, status: int, latency_seconds: float,
+                        n_queries: int = 0) -> None:
+        """One finished HTTP exchange: status, wall latency, and how
+        many queries it carried (0 for health/stats/errors)."""
+        self.requests_total += 1
+        self.responses_by_status[status] += 1
+        self._latencies.append(latency_seconds)
+        if n_queries:
+            self.queries_total += n_queries
+            self._completions.append((time.monotonic(), n_queries))
+            self._prune()
+
+    def record_batch(self, size: int) -> None:
+        """One micro-batch handed to ``query_many``."""
+        self.batches_dispatched += 1
+        self._batch_sizes.append(size)
+
+    def _prune(self) -> None:
+        horizon = time.monotonic() - self.window_seconds
+        while self._completions and self._completions[0][0] < horizon:
+            self._completions.popleft()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def qps(self) -> float:
+        """Queries per second over the sliding window."""
+        self._prune()
+        if not self._completions:
+            return 0.0
+        elapsed = min(self.window_seconds,
+                      max(time.monotonic() - self.started_at, 1e-9))
+        return sum(n for _t, n in self._completions) / elapsed
+
+    def snapshot(self) -> dict:
+        latencies = list(self._latencies)
+        batches = list(self._batch_sizes)
+        return {
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "requests_total": self.requests_total,
+            "queries_total": self.queries_total,
+            "responses_by_status": {str(status): count for status, count
+                                    in sorted(self.responses_by_status.items())},
+            "qps": self.qps(),
+            "latency_ms": {
+                "p50": _ms(percentile(latencies, 0.50)),
+                "p99": _ms(percentile(latencies, 0.99)),
+                "max": _ms(max(latencies) if latencies else None),
+            },
+            "batch": {
+                "dispatched": self.batches_dispatched,
+                "mean_size": (sum(batches) / len(batches)
+                              if batches else None),
+                "max_size": max(batches) if batches else None,
+            },
+        }
+
+
+def _ms(seconds: float | None) -> float | None:
+    return None if seconds is None else seconds * 1000.0

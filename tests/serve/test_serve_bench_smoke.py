@@ -1,0 +1,54 @@
+"""Smoke test for the serving benchmark harness.
+
+Runs ``benchmarks/bench_serve.py`` at a miniature configuration — the
+harness itself asserts every served ranking equals the offline
+``query_many`` result, so passing here means the equivalence held with
+a real server, real sockets and concurrent clients.  QPS *ordering* is
+deliberately not asserted at smoke scale (single-core CI noise); the
+tracked ``results/BENCH_serve.json`` carries the full-scale numbers.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def load_module(name: str):
+    spec = importlib.util.spec_from_file_location(name,
+                                                  BENCH_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_serve_smoke(tmp_path):
+    bench = load_module("bench_serve")
+    report = bench.run(n_vectors=200, dim=16, n_queries=24, k=5,
+                       n_clients=2, shard_counts=(2,), windows_ms=(1.0,),
+                       workdir=tmp_path)
+    assert report["benchmark"] == "serve"
+    assert report["config"]["n_clients"] == 2
+    modes = [(r["op"], r["mode"], r["layout"]) for r in report["results"]]
+    assert modes == [("open", "eager", "shards=2"),
+                     ("open", "mmap", "shards=2"),
+                     ("serve", "per-request", "shards=2"),
+                     ("serve", "micro-batch(w=1ms)", "shards=2")]
+    for record in report["results"]:
+        assert record["seconds"] >= 0
+        if record["op"] == "serve":
+            assert record["qps"] > 0
+            assert record["n"] == 24
+    per_request = next(r for r in report["results"]
+                       if r["mode"] == "per-request")
+    micro = next(r for r in report["results"]
+                 if r["mode"].startswith("micro-batch"))
+    # Dispatch shapes, not speed: per-request ticks are singletons,
+    # micro-batch ticks may coalesce.
+    assert per_request["mean_batch"] == 1.0
+    assert micro["mean_batch"] >= 1.0
+    # JSON-serializable, as the BENCH_*.json tracking requires.
+    (tmp_path / "BENCH_serve.json").write_text(json.dumps(report))
+    text = bench.render(report).to_text()
+    assert "per-request" in text and "micro-batch" in text

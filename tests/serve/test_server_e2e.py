@@ -1,0 +1,363 @@
+"""End-to-end server tests: real sockets, served ≡ offline rankings.
+
+Each test boots a :class:`~repro.serve.ServerThread` on an ephemeral
+port and talks to it over plain ``http.client``.  The load-bearing
+property is pinned throughout: whatever the server returns for a query
+is exactly what ``open_index(...).query_many`` returns offline — same
+keys, bit-equal scores, same tie order — across layouts (1/2/5 shards),
+mmap and eager opens, and single and batch request shapes.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from serveutil import (
+    http_request,
+    make_corpus,
+    offline_ranking,
+    post_query,
+    save_layout,
+    served_ranking,
+)
+
+from repro.index import open_index
+from repro.serve import ServerThread
+
+DIM = 24
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus(n=240, dim=DIM, seed=7)
+
+
+@pytest.fixture(scope="module")
+def queries(corpus):
+    _keys, vectors = corpus
+    rng = np.random.default_rng(11)
+    fresh = rng.standard_normal((6, DIM))
+    # Corpus rows as queries hit the duplicate-tie path; fresh
+    # gaussians hit the generic path.
+    return np.vstack([vectors[:6], fresh])
+
+
+class TestServedEqualsOffline:
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_batch_request_matches_query_many(self, tmp_path, corpus,
+                                              queries, n_shards, mmap):
+        keys, vectors = corpus
+        path = save_layout(tmp_path, keys, vectors, n_shards)
+        offline = open_index(path)
+        want = [offline_ranking(hits)
+                for hits in offline.query_many(queries, k=5)]
+        with ServerThread(open_index(path, mmap=mmap),
+                          max_wait_ms=1.0) as handle:
+            status, payload = post_query(
+                handle.port, {"vectors": queries.tolist(), "k": 5})
+        assert status == 200
+        got = [served_ranking(result["hits"])
+               for result in payload["results"]]
+        assert got == want
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    def test_single_requests_match_query_many(self, tmp_path, corpus,
+                                              queries, n_shards):
+        keys, vectors = corpus
+        path = save_layout(tmp_path, keys, vectors, n_shards)
+        offline = open_index(path)
+        want = [offline_ranking(hits)
+                for hits in offline.query_many(queries, k=4)]
+        with ServerThread(open_index(path, mmap=True),
+                          max_wait_ms=1.0) as handle:
+            for row, expected in zip(queries, want):
+                status, payload = post_query(
+                    handle.port, {"vector": row.tolist(), "k": 4})
+                assert status == 200
+                assert served_ranking(payload["hits"]) == expected
+
+    def test_exclude_is_honoured(self, tmp_path, corpus):
+        keys, vectors = corpus
+        path = save_layout(tmp_path, keys, vectors, 2)
+        offline = open_index(path)
+        want = offline_ranking(
+            offline.query_many(vectors[:1], k=5, excludes=[keys[0]])[0])
+        with ServerThread(open_index(path, mmap=True),
+                          max_wait_ms=1.0) as handle:
+            status, payload = post_query(
+                handle.port, {"vector": vectors[0].tolist(), "k": 5,
+                              "exclude": keys[0]})
+        assert status == 200
+        got = served_ranking(payload["hits"])
+        assert got == want
+        assert keys[0] not in [key for key, _score in got]
+
+    def test_mixed_k_requests_stay_isolated(self, tmp_path, corpus, queries):
+        """Different k values in flight together must each match their
+        own serial result (the dispatcher groups ticks by k)."""
+        keys, vectors = corpus
+        path = save_layout(tmp_path, keys, vectors, 2)
+        offline = open_index(path)
+        ks = [1, 3, 7, 300]   # 300 > corpus candidates: brute-force path
+        want = {k: [offline_ranking(hits)
+                    for hits in offline.query_many(queries, k=k)]
+                for k in ks}
+        results: dict[tuple[int, int], list] = {}
+        errors: list[Exception] = []
+
+        def client(k, q):
+            try:
+                status, payload = post_query(
+                    handle.port, {"vector": queries[q].tolist(), "k": k})
+                assert status == 200
+                results[(k, q)] = served_ranking(payload["hits"])
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        with ServerThread(open_index(path, mmap=True), max_wait_ms=20.0,
+                          max_batch=64) as handle:
+            threads = [threading.Thread(target=client, args=(k, q))
+                       for k in ks for q in range(len(queries))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors
+        for (k, q), got in results.items():
+            assert got == want[k][q], f"k={k} query {q} diverged"
+        assert len(results) == len(ks) * len(queries)
+
+
+class TestErrorContract:
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        keys, vectors = make_corpus(n=60, dim=DIM, seed=3)
+        tmp = tmp_path_factory.mktemp("err")
+        path = save_layout(tmp, keys, vectors, 2)
+        with ServerThread(open_index(path, mmap=True), max_wait_ms=1.0,
+                          max_body=4096) as handle:
+            yield handle
+
+    def test_malformed_json_is_400(self, server):
+        status, data = http_request(server.port, "POST", "/query", b"{nope")
+        assert status == 400
+        assert "JSON" in json.loads(data)["error"]
+
+    def test_wrong_dim_is_400(self, server):
+        status, payload = post_query(server.port, {"vector": [1.0, 2.0]})
+        assert status == 400
+        assert "dims" in payload["error"]
+
+    def test_unknown_route_is_404(self, server):
+        status, _data = http_request(server.port, "GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, server):
+        assert http_request(server.port, "GET", "/query")[0] == 405
+        assert http_request(server.port, "POST", "/healthz",
+                            b"{}")[0] == 405
+        assert http_request(server.port, "POST", "/stats", b"{}")[0] == 405
+
+    def test_oversized_body_is_413(self, server):
+        blob = json.dumps({"vectors": [[0.0] * DIM] * 500}).encode()
+        assert len(blob) > 4096
+        status, data = http_request(server.port, "POST", "/query", blob)
+        assert status == 413
+        assert "exceeds" in json.loads(data)["error"]
+
+    def test_server_survives_error_barrage(self, server, corpus=None):
+        """After every error above, a good request still answers —
+        errors never wedge the connection loop."""
+        keys, vectors = make_corpus(n=60, dim=DIM, seed=3)
+        status, payload = post_query(server.port,
+                                     {"vector": vectors[0].tolist(), "k": 2})
+        assert status == 200 and len(payload["hits"]) == 2
+
+
+class TestHealthAndStats:
+    def test_healthz_reports_index_identity(self, tmp_path):
+        keys, vectors = make_corpus(n=90, dim=DIM, seed=5)
+        path = save_layout(tmp_path, keys, vectors, 5)
+        with ServerThread(open_index(path, mmap=True)) as handle:
+            status, data = http_request(handle.port, "GET", "/healthz")
+        payload = json.loads(data)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["kind"] == "vector"
+        assert payload["dim"] == DIM
+        assert payload["entries"] == 90
+        assert payload["shards"] == 5
+
+    def test_stats_counts_requests_and_queries(self, tmp_path, corpus,
+                                               queries):
+        keys, vectors = corpus
+        path = save_layout(tmp_path, keys, vectors, 1)
+        with ServerThread(open_index(path, mmap=True),
+                          max_wait_ms=1.0) as handle:
+            post_query(handle.port, {"vectors": queries.tolist(), "k": 3})
+            post_query(handle.port, {"vector": queries[0].tolist()})
+            http_request(handle.port, "POST", "/query", b"{bad")
+            status, data = http_request(handle.port, "GET", "/stats")
+        snapshot = json.loads(data)
+        assert status == 200
+        assert snapshot["queries_total"] == len(queries) + 1
+        assert snapshot["requests_total"] >= 3
+        assert snapshot["responses_by_status"]["200"] >= 2
+        assert snapshot["responses_by_status"]["400"] == 1
+        assert snapshot["batch"]["dispatched"] >= 1
+        assert snapshot["batch"]["max_size"] <= 32
+        assert snapshot["dispatcher"]["max_batch"] == 32
+
+
+class TestGracefulDrain:
+    def test_inflight_request_completes_on_shutdown(self, tmp_path, corpus):
+        """A request parked in a wide micro-batch window must be
+        answered — correctly — when the server shuts down mid-wait."""
+        keys, vectors = corpus
+        path = save_layout(tmp_path, keys, vectors, 2)
+        offline = open_index(path)
+        want = offline_ranking(offline.query_many(vectors[:1], k=3)[0])
+        handle = ServerThread(open_index(path, mmap=True),
+                              max_wait_ms=30_000.0, max_batch=1024).start()
+        outcome: dict = {}
+
+        def client():
+            outcome["response"] = post_query(
+                handle.port, {"vector": vectors[0].tolist(), "k": 3})
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                _status, data = http_request(handle.port, "GET", "/stats")
+                if json.loads(data)["dispatcher"]["pending"] >= 1:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("query never reached the dispatcher")
+        finally:
+            started = time.monotonic()
+            handle.stop()
+        drained_in = time.monotonic() - started
+        thread.join(timeout=10)
+        status, payload = outcome["response"]
+        assert status == 200
+        assert served_ranking(payload["hits"]) == want
+        # The drain flushed the batch rather than sitting out the
+        # 30-second window.
+        assert drained_in < 10
+
+    def test_mid_body_request_completes_on_shutdown(self, tmp_path, corpus):
+        """A client that has sent its request line but is still
+        streaming the body when the drain starts must not have its
+        upload severed: the drain waits, the request is answered 200
+        with the correct ranking."""
+        import socket
+
+        keys, vectors = corpus
+        path = save_layout(tmp_path, keys, vectors, 2)
+        offline = open_index(path)
+        want = offline_ranking(offline.query_many(vectors[:1], k=3)[0])
+        handle = ServerThread(open_index(path, mmap=True),
+                              max_wait_ms=1.0).start()
+        body = json.dumps({"vector": vectors[0].tolist(), "k": 3}).encode()
+        head = (f"POST /query HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode()
+        sock = socket.create_connection(("127.0.0.1", handle.port),
+                                        timeout=30)
+        stopper = None
+        try:
+            sock.sendall(head + body[:10])
+            time.sleep(0.3)   # server has the request line, not the body
+            stopper = threading.Thread(target=handle.stop)
+            stopper.start()
+            time.sleep(0.3)   # drain is now waiting on this connection
+            sock.sendall(body[10:])
+            response = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+        finally:
+            sock.close()
+            if stopper is not None:
+                stopper.join(timeout=30)
+            handle.stop()
+        status_line, _, rest = response.partition(b"\r\n")
+        assert b" 200 " in status_line, response[:200]
+        payload = json.loads(rest.partition(b"\r\n\r\n")[2])
+        assert served_ranking(payload["hits"]) == want
+
+    def test_stop_is_idempotent(self, tmp_path, corpus):
+        keys, vectors = corpus
+        path = save_layout(tmp_path, keys, vectors, 1)
+        handle = ServerThread(open_index(path)).start()
+        handle.stop()
+        handle.stop()
+
+
+class TestServeCli:
+    def test_cli_boots_serves_and_drains_on_sigterm(self, tmp_path, corpus,
+                                                    queries):
+        """The `repro.cli serve` entry end-to-end: boots from a saved
+        path, prints the bound port, answers /healthz and /query, logs
+        to --log-file, and exits 0 on SIGTERM after draining."""
+        keys, vectors = corpus
+        path = save_layout(tmp_path, keys, vectors, 2)
+        offline = open_index(path)
+        want = [offline_ranking(hits)
+                for hits in offline.query_many(queries[:2], k=3)]
+        log_file = tmp_path / "server.log"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(Path(__file__).resolve().parents[2] / "src")
+                             + os.pathsep + env.get("PYTHONPATH", ""))
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(path),
+             "--port", "0", "--max-wait-ms", "1",
+             "--log-file", str(log_file)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        try:
+            banner = process.stdout.readline()
+            assert "Serving vector index" in banner, banner
+            port = int(banner.split("http://127.0.0.1:")[1].split()[0])
+            status, data = http_request(port, "GET", "/healthz")
+            assert status == 200 and json.loads(data)["status"] == "ok"
+            status, payload = post_query(
+                port, {"vectors": queries[:2].tolist(), "k": 3})
+            assert status == 200
+            assert [served_ranking(result["hits"])
+                    for result in payload["results"]] == want
+        finally:
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=30)
+        assert process.returncode == 0, stderr
+        assert "Draining" in stdout
+        assert log_file.exists()
+        log_text = log_file.read_text()
+        assert "serving kind=vector" in log_text
+        assert "POST /query -> 200" in log_text
+        assert "stopped after" in log_text
+
+    def test_cli_rejects_bad_flags(self, capsys, tmp_path):
+        from repro.cli import main
+
+        keys, vectors = make_corpus(n=30, dim=8, seed=1)
+        path = save_layout(tmp_path, keys, vectors, 1)
+        assert main(["serve", str(path), "--max-batch", "0"]) == 2
+        assert main(["serve", str(path), "--max-wait-ms", "-1"]) == 2
+        assert main(["serve", str(path), "--jobs", "0"]) == 2
+        assert main(["serve", str(tmp_path / "missing.npz")]) == 2
+        err = capsys.readouterr().err
+        assert "--max-batch" in err and "no index file" in err

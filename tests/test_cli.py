@@ -650,3 +650,121 @@ class TestConcurrentQueryCLI:
         for ours, theirs in zip(parallel.shards, serial.shards):
             assert ours.keys == theirs.keys
             assert np.array_equal(ours.lsh.vectors(), theirs.lsh.vectors())
+
+
+class TestBatchStreaming:
+    """`index query --batch` streams JSON lines as chunks complete
+    instead of buffering the whole run (regression: the first version
+    held every result until the end)."""
+
+    DIM = 8
+    N_QUERIES = 6
+
+    @pytest.fixture()
+    def built(self, tmp_path):
+        """A raw table-kind index — no embedder needed for --batch."""
+        import numpy as np
+
+        from repro.index import TableIndex
+
+        rng = np.random.default_rng(0)
+        index = TableIndex(dim=self.DIM, seed=0)
+        index.add_batch([f"fp{i:03d}" for i in range(20)],
+                        rng.standard_normal((20, self.DIM)))
+        index.save(tmp_path / "idx" / "tables.npz")
+        return tmp_path / "idx"
+
+    @pytest.fixture()
+    def batch_file(self, tmp_path):
+        import json as json_mod
+
+        import numpy as np
+
+        rows = np.random.default_rng(1).standard_normal(
+            (self.N_QUERIES, self.DIM))
+        path = tmp_path / "queries.jsonl"
+        path.write_text("\n".join(json_mod.dumps([float(x) for x in row])
+                                  for row in rows) + "\n")
+        return path
+
+    def test_output_streams_before_later_chunks_run(self, built, batch_file,
+                                                    monkeypatch):
+        """By the time chunk N's query_many runs, chunks 0..N-1 must
+        already be printed — captured by counting emitted lines at each
+        query_many call."""
+        import io
+        import json as json_mod
+        import sys as sys_mod
+
+        import repro.index as index_mod
+
+        buffer = io.StringIO()
+        lines_at_call: list[int] = []
+        real_open = index_mod.open_index
+
+        class Recording:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def query_many(self, *args, **kwargs):
+                lines_at_call.append(buffer.getvalue().count("\n"))
+                return self._inner.query_many(*args, **kwargs)
+
+        monkeypatch.setattr(index_mod, "open_index",
+                            lambda path, **kw: Recording(real_open(path,
+                                                                   **kw)))
+        monkeypatch.setattr(sys_mod, "stdout", buffer)
+        assert main(["index", "query", "cancerkg", "--index", str(built),
+                     "--batch", str(batch_file), "--chunk", "2",
+                     "--k", "3"]) == 0
+        # 6 queries at chunk=2: three calls, each seeing the previous
+        # chunks' lines already flushed.
+        assert lines_at_call == [0, 2, 4]
+        records = [json_mod.loads(line)
+                   for line in buffer.getvalue().splitlines()]
+        assert [record["query"] for record in records] == \
+            list(range(self.N_QUERIES))
+
+    def test_chunked_output_equals_unchunked(self, built, batch_file,
+                                             capsys):
+        assert main(["index", "query", "cancerkg", "--index", str(built),
+                     "--batch", str(batch_file), "--chunk", "2",
+                     "--k", "4"]) == 0
+        chunked = capsys.readouterr().out
+        assert main(["index", "query", "cancerkg", "--index", str(built),
+                     "--batch", str(batch_file), "--chunk", "1000",
+                     "--k", "4"]) == 0
+        assert capsys.readouterr().out == chunked
+        assert len(chunked.strip().splitlines()) == self.N_QUERIES
+
+    def test_bad_chunk_rejected(self, built, batch_file, capsys):
+        assert main(["index", "query", "cancerkg", "--index", str(built),
+                     "--batch", str(batch_file), "--chunk", "0"]) == 2
+        assert "--chunk must be at least 1" in capsys.readouterr().err
+
+    def test_broken_pipe_exits_cleanly(self, built, batch_file,
+                                       monkeypatch):
+        """`... --batch | head` closes the pipe mid-stream: the command
+        must stop producing and exit 0, not traceback (streaming made
+        this reachable on every chunk boundary)."""
+        import io
+        import sys as sys_mod
+
+        class ClosedPipe(io.StringIO):
+            def __init__(self):
+                super().__init__()
+                self.writes = 0
+
+            def write(self, text):
+                self.writes += 1
+                if self.writes > 1:
+                    raise BrokenPipeError
+                return super().write(text)
+
+        monkeypatch.setattr(sys_mod, "stdout", ClosedPipe())
+        assert main(["index", "query", "cancerkg", "--index", str(built),
+                     "--batch", str(batch_file), "--chunk", "2",
+                     "--k", "3"]) == 0
