@@ -1,0 +1,207 @@
+"""Catalog serving: routing overhead and eviction-cap trade-offs.
+
+Two questions, each answered with served rankings asserted identical
+to offline ``query_many`` before any timing is trusted:
+
+1. **What does routing cost?**  The same corpus is served twice — once
+   as a bare index (the pre-catalog server: no catalog lookup on the
+   hot path) and once as a single-entry catalog answering name-free
+   requests — under the same client hammer.  The routed build budgets
+   <5% QPS overhead; ``overhead_pct`` in the report is the measured
+   number.
+
+2. **What does an eviction cap cost?**  A two-entry catalog serves a
+   strictly alternating two-index workload with ``max_open=1`` (every
+   switch is an evict + mmap reopen) and ``max_open=2`` (both stay
+   resident).  The gap is the reopen tax; the per-index eviction
+   counters in ``/stats`` prove the churn actually happened.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_catalog.py``) or
+via the smoke test in ``tests/catalog/test_catalog_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.catalog import Catalog, CatalogEntry
+from repro.eval import ResultsTable, results_dir
+from repro.index import VectorIndex, open_index, save_index
+from repro.serve import ServerThread
+
+
+def _hammer(port: int, jobs: list[tuple[str | None, int]],
+            queries: dict[str | None, np.ndarray], k: int, n_clients: int,
+            want: dict) -> float:
+    """Fire ``jobs`` — (index name or None, query row) pairs — from
+    ``n_clients`` keep-alive client threads; assert every response
+    equals its entry's offline ranking; return elapsed wall seconds."""
+    slices = [jobs[c::n_clients] for c in range(n_clients)]
+    failures: list[str] = []
+
+    def client(rows: list[tuple[str | None, int]]) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            for name, q in rows:
+                payload = {"vector": queries[name][q].tolist(), "k": k}
+                if name is not None:
+                    payload["index"] = name
+                conn.request("POST", "/query",
+                             body=json.dumps(payload).encode(),
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                parsed = json.loads(response.read())
+                if response.status != 200:
+                    failures.append(f"{name}/{q}: status {response.status}")
+                    continue
+                got = [(hit["key"], hit["score"])
+                       for hit in parsed["hits"]]
+                if got != want[name][q]:
+                    failures.append(f"{name}/{q}: ranking diverged")
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=client, args=(rows,))
+               for rows in slices if rows]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if failures:
+        raise AssertionError(
+            f"served rankings diverged from offline query_many — the "
+            f"server is broken, timings are meaningless: {failures[:3]}")
+    return elapsed
+
+
+def _build_entry(root: Path, name: str, n_vectors: int, dim: int,
+                 seed: int) -> Path:
+    rng = np.random.default_rng(seed)
+    index = VectorIndex(dim=dim, seed=seed)
+    index.add_batch([f"{name}-{i:06d}" for i in range(n_vectors)],
+                    rng.standard_normal((n_vectors, dim)))
+    path = root / f"{name}.npz"
+    save_index(index, path)
+    return path
+
+
+def run(n_vectors: int = 20000, dim: int = 64, n_queries: int = 240,
+        k: int = 10, n_clients: int = 8, max_wait_ms: float = 1.0,
+        seed: int = 0, workdir: str | Path | None = None) -> dict:
+    import tempfile
+
+    rng = np.random.default_rng(seed)
+    records = []
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(workdir) if workdir is not None else Path(scratch)
+        catalog = Catalog(root=root)
+        paths = {}
+        for position, name in enumerate(("alpha", "beta")):
+            paths[name] = _build_entry(root, name, n_vectors, dim,
+                                       seed + position)
+            catalog.add(CatalogEntry(name=name, path=paths[name].name,
+                                     kind="vector",
+                                     default=name == "alpha"))
+        catalog.save()
+        queries = rng.standard_normal((n_queries, dim))
+        want = {}
+        for name, path in paths.items():
+            offline = open_index(path)
+            want[name] = [[(hit.key, hit.score) for hit in hits]
+                          for hits in offline.query_many(queries, k=k)]
+        want[None] = want["alpha"]   # name-free requests hit the default
+        query_map = {None: queries, "alpha": queries, "beta": queries}
+        knobs = dict(max_batch=64, max_wait_ms=max_wait_ms)
+
+        # --- 1. Routing overhead: bare index vs single-entry catalog.
+        nameless = [(None, q) for q in range(n_queries)]
+        with ServerThread(open_index(paths["alpha"], mmap=True),
+                          **knobs) as handle:
+            direct_s = _hammer(handle.port, nameless, query_map, k,
+                               n_clients, want)
+        with ServerThread(Catalog.load(root), **knobs) as handle:
+            routed_s = _hammer(handle.port, nameless, query_map, k,
+                               n_clients, want)
+        direct_qps = n_queries / direct_s
+        routed_qps = n_queries / routed_s
+        overhead_pct = 100.0 * (routed_s - direct_s) / direct_s
+        records.append({"op": "route-overhead", "mode": "direct",
+                        "n": n_queries, "seconds": direct_s,
+                        "qps": direct_qps})
+        records.append({"op": "route-overhead", "mode": "routed",
+                        "n": n_queries, "seconds": routed_s,
+                        "qps": routed_qps, "overhead_pct": overhead_pct,
+                        "budget_pct": 5.0})
+
+        # --- 2. Alternating two-index workload under eviction caps.
+        alternating = [(name, q) for q in range(n_queries)
+                       for name in ("alpha", "beta")]
+        for max_open in (1, 2):
+            with ServerThread(Catalog.load(root), max_open=max_open,
+                              **knobs) as handle:
+                seconds = _hammer(handle.port, alternating, query_map, k,
+                                  n_clients, want)
+                snapshot = handle.server.stats.snapshot()
+                per_index = {
+                    slot.name: slot.stats.snapshot()
+                    for slot in handle.server.handle}
+            evictions = sum(section["evictions"]
+                            for section in per_index.values())
+            opens = sum(section["opens"] for section in per_index.values())
+            records.append({
+                "op": "alternating", "mode": f"max_open={max_open}",
+                "n": len(alternating), "seconds": seconds,
+                "qps": len(alternating) / seconds,
+                "opens": opens, "evictions": evictions,
+                "p99_ms": snapshot["latency_ms"]["p99"],
+            })
+
+    return {
+        "benchmark": "catalog",
+        "config": {"n_vectors": n_vectors, "dim": dim,
+                   "n_queries": n_queries, "k": k, "n_clients": n_clients,
+                   "max_wait_ms": max_wait_ms, "seed": seed},
+        "results": records,
+    }
+
+
+def render(report: dict) -> ResultsTable:
+    config = report["config"]
+    out = ResultsTable(
+        f"Catalog serving: 2×{config['n_vectors']} vectors (dim "
+        f"{config['dim']}), {config['n_queries']} queries @ "
+        f"k={config['k']}, {config['n_clients']} clients",
+        columns=["seconds", "qps", "overhead %", "opens", "evictions"])
+    for rec in report["results"]:
+        row = f"{rec['op']} {rec['mode']}"
+        out.add(row, "seconds", f"{rec['seconds']:.3f}")
+        out.add(row, "qps", f"{rec['qps']:.1f}")
+        if rec.get("overhead_pct") is not None:
+            out.add(row, "overhead %",
+                    f"{rec['overhead_pct']:+.1f} (budget {rec['budget_pct']:g})")
+        if rec.get("opens") is not None:
+            out.add(row, "opens", rec["opens"])
+            out.add(row, "evictions", rec["evictions"])
+    return out
+
+
+def main() -> int:
+    report = run()
+    render(report).show()
+    path = results_dir() / "BENCH_catalog.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"Wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

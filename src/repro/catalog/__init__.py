@@ -1,0 +1,17 @@
+"""Catalog layer: one process, many named indexes.
+
+A :class:`Catalog` is a version-controlled ``catalog.json`` manifest of
+named index entries (table-level, column-level, per-corpus,
+per-checkpoint); a :class:`CatalogHandle` opens those entries lazily
+(memory-mapped), LRU-evicts them under a configurable cap, and gives
+each its own micro-batch dispatcher so the retrieval server can route
+``POST /query`` traffic by index name — see :mod:`repro.serve`.
+"""
+
+from .catalog import CATALOG_NAME, CATALOG_VERSION, Catalog, CatalogEntry
+from .handles import CatalogHandle, IndexSlot, IndexStats
+
+__all__ = [
+    "Catalog", "CatalogEntry", "CATALOG_NAME", "CATALOG_VERSION",
+    "CatalogHandle", "IndexSlot", "IndexStats",
+]

@@ -1,0 +1,257 @@
+"""The catalog manifest: named indexes behind one serving process.
+
+A *catalog* is a version-controlled ``catalog.json`` that names saved
+indexes — table-level and column-level, several corpora, several model
+checkpoints — so one server can front all of them and route queries by
+name::
+
+    {
+      "catalog_version": 1,
+      "entries": [
+        {"name": "tables",  "path": "tables",  "kind": "table",
+         "model_id": "3f9a...", "default": true},
+        {"name": "columns", "path": "columns", "kind": "column",
+         "model_id": "3f9a...", "default": false}
+      ]
+    }
+
+Paths are resolved against the directory holding ``catalog.json``
+(absolute paths pass through), so a catalog directory that contains its
+index layouts is fully relocatable — ``git mv`` the directory and it
+still serves.
+
+Validation follows the same discipline as
+:meth:`~repro.index.backends.ShardedDirBackend.load`: anything wrong
+with the manifest — bad JSON, a newer ``catalog_version``, missing or
+mistyped fields, duplicate names, an unknown ``kind``, two defaults —
+surfaces as **one clear ValueError** naming the file and the problem,
+never a KeyError/TypeError traceback.  A missing file raises
+``FileNotFoundError`` (the "no catalog here" case callers turn into a
+hint), mirroring :func:`~repro.index.open_index`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+#: File that marks a directory as a catalog.
+CATALOG_NAME = "catalog.json"
+
+#: Version stamp of the catalog schema.  Newer catalogs are rejected
+#: with a clear error instead of being silently mis-read.
+CATALOG_VERSION = 1
+
+
+def _bad(where: str | Path, problem: str) -> ValueError:
+    return ValueError(f"{where}: {problem}")
+
+
+@dataclass
+class CatalogEntry:
+    """One named index in a catalog.
+
+    ``path`` is the saved layout (single ``.npz`` or sharded directory)
+    relative to the catalog directory, or absolute.  ``path=None`` marks
+    an *in-memory* entry (a bare index handed straight to the server);
+    such entries cannot be persisted.  ``model_id`` is the embedder
+    checkpoint stamp the entry's vectors are expected to come from —
+    when both it and the opened index's stamp are known they must agree,
+    which is what lets an A/B deployment trust ``GET /healthz``.
+    """
+
+    name: str
+    path: str | None
+    kind: str
+    model_id: str | None = None
+    default: bool = False
+
+    def to_params(self) -> dict:
+        """The JSON shape stored in ``catalog.json``."""
+        return {"name": self.name, "path": self.path, "kind": self.kind,
+                "model_id": self.model_id, "default": self.default}
+
+    @classmethod
+    def from_params(cls, params: object, where: str | Path,
+                    position: int) -> "CatalogEntry":
+        """Validate one manifest entry; every failure is one clear
+        ValueError naming the file and the entry position."""
+        label = f"entry {position}"
+        if not isinstance(params, dict):
+            raise _bad(where, f"{label} must be an object, got "
+                              f"{type(params).__name__}")
+        name = params.get("name")
+        if not isinstance(name, str) or not name:
+            raise _bad(where, f"{label} needs a non-empty string 'name'")
+        path = params.get("path")
+        if not isinstance(path, str) or not path:
+            raise _bad(where, f"entry {name!r} needs a non-empty string "
+                              f"'path'")
+        kind = params.get("kind")
+        if not isinstance(kind, str):
+            raise _bad(where, f"entry {name!r} needs a string 'kind'")
+        from repro.index import index_class
+
+        try:
+            index_class(kind)
+        except ValueError as error:
+            raise _bad(where, f"entry {name!r}: {error}") from None
+        model_id = params.get("model_id")
+        if model_id is not None and not isinstance(model_id, str):
+            raise _bad(where, f"entry {name!r}: 'model_id' must be a "
+                              f"string or null")
+        default = params.get("default", False)
+        if not isinstance(default, bool):
+            raise _bad(where, f"entry {name!r}: 'default' must be a "
+                              f"boolean")
+        return cls(name=name, path=path, kind=kind, model_id=model_id,
+                   default=default)
+
+
+class Catalog:
+    """An ordered set of named :class:`CatalogEntry` objects.
+
+    ``root`` is the directory relative entry paths resolve against —
+    the directory of the loaded ``catalog.json``, or ``None`` for a
+    purely in-memory catalog (entry paths must then be absolute or
+    the entries pre-opened by the caller).
+    """
+
+    def __init__(self, entries: list[CatalogEntry] | tuple = (),
+                 root: str | Path | None = None):
+        self.root = None if root is None else Path(root)
+        self.entries: dict[str, CatalogEntry] = {}
+        for entry in entries:
+            self.add(entry)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, entry: CatalogEntry) -> None:
+        """Add one entry; duplicate names and second defaults are
+        rejected (the invariants `load` enforces hold for built
+        catalogs too)."""
+        if entry.name in self.entries:
+            raise ValueError(f"catalog already has an entry named "
+                             f"{entry.name!r}")
+        if entry.default and any(e.default for e in self.entries.values()):
+            current = next(e.name for e in self.entries.values() if e.default)
+            raise ValueError(f"catalog already has a default entry "
+                             f"({current!r}); only one entry may be the "
+                             f"default")
+        self.entries[entry.name] = entry
+
+    def set_default(self, name: str) -> str | None:
+        """Make ``name`` the explicit default; returns the previous
+        explicit default's name (or ``None``)."""
+        if name not in self.entries:
+            raise KeyError(name)
+        previous = next((e.name for e in self.entries.values() if e.default),
+                        None)
+        for entry in self.entries.values():
+            entry.default = entry.name == name
+        return previous
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    @property
+    def default_name(self) -> str | None:
+        """The explicit default entry's name, else the first entry's
+        (insertion order), else ``None`` for an empty catalog."""
+        for entry in self.entries.values():
+            if entry.default:
+                return entry.name
+        return next(iter(self.entries), None)
+
+    def resolve_path(self, entry: CatalogEntry) -> Path:
+        """The on-disk location of ``entry`` (relative paths resolve
+        against the catalog directory)."""
+        if entry.path is None:
+            raise ValueError(f"entry {entry.name!r} is in-memory only "
+                             f"(no path to resolve)")
+        path = Path(entry.path)
+        if path.is_absolute() or self.root is None:
+            return path
+        return self.root / path
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @staticmethod
+    def handles(path: str | Path) -> bool:
+        """Whether ``path`` looks like a catalog: a directory holding
+        ``catalog.json``, or the manifest file itself.  The marker is
+        unambiguous, so `serve` sniffs this before the index backends."""
+        path = Path(path)
+        return ((path / CATALOG_NAME).is_file()
+                or (path.name == CATALOG_NAME and path.is_file()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Catalog":
+        """Load and validate a ``catalog.json`` (or the directory
+        holding one)."""
+        path = Path(path)
+        if path.is_dir():
+            path = path / CATALOG_NAME
+        if not path.is_file():
+            raise FileNotFoundError(f"no catalog at {path}")
+        try:
+            manifest = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise _bad(path, f"not valid JSON: {error}") from None
+        if not isinstance(manifest, dict):
+            raise _bad(path, "the catalog must be a JSON object")
+        version = manifest.get("catalog_version", 1)
+        if not isinstance(version, int) or version < 1:
+            raise _bad(path, "'catalog_version' must be a positive integer")
+        if version > CATALOG_VERSION:
+            raise _bad(path, f"uses catalog v{version}; this build reads "
+                             f"up to v{CATALOG_VERSION}")
+        raw_entries = manifest.get("entries")
+        if not isinstance(raw_entries, list):
+            raise _bad(path, "missing the required 'entries' list — the "
+                             "catalog is inconsistent (partial write or "
+                             "hand edit?)")
+        catalog = cls(root=path.parent)
+        for position, params in enumerate(raw_entries):
+            entry = CatalogEntry.from_params(params, path, position)
+            try:
+                catalog.add(entry)
+            except ValueError as error:
+                raise _bad(path, str(error)) from None
+        return catalog
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write ``catalog.json`` (stable key order, indented — the
+        format is meant to live under version control).  ``path`` may
+        be a directory or the manifest file; defaults to the catalog's
+        own root."""
+        if path is None:
+            if self.root is None:
+                raise ValueError("an in-memory catalog has no root; pass "
+                                 "an explicit path to save")
+            path = self.root
+        path = Path(path)
+        if path.name != CATALOG_NAME:
+            path = path / CATALOG_NAME
+        for entry in self.entries.values():
+            if entry.path is None:
+                raise ValueError(f"entry {entry.name!r} is in-memory only "
+                                 f"and cannot be persisted")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        manifest = {"catalog_version": CATALOG_VERSION,
+                    "entries": [entry.to_params()
+                                for entry in self.entries.values()]}
+        path.write_text(json.dumps(manifest, indent=2) + "\n")
+        return path

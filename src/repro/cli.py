@@ -25,16 +25,30 @@ Subcommands::
     python -m repro.cli index merge   --out OUT A B...     merge saved indexes
                                                            (dedupes by
                                                            fingerprint)
-    python -m repro.cli serve <index>                      HTTP retrieval
-                                                           server over a saved
-                                                           index: POST /query,
+    python -m repro.cli catalog init <dir>                 start an empty
+                                                           catalog.json
+    python -m repro.cli catalog add  <dir> --name N        register a saved
+                              --path P [--default]         index under a name
+                                                           (kind + checkpoint
+                                                           recorded from the
+                                                           layout itself)
+    python -m repro.cli catalog list <dir>                 show every entry
+                                                           with its live spec
+    python -m repro.cli serve <index-or-catalog>           HTTP retrieval
+                                                           server: POST /query
+                                                           (optional "index"
+                                                           name routes within
+                                                           a catalog),
+                                                           GET /indexes,
                                                            GET /healthz,
                                                            GET /stats;
                                                            micro-batched,
-                                                           memory-mapped by
-                                                           default, graceful
-                                                           drain on SIGINT/
-                                                           SIGTERM
+                                                           memory-mapped and
+                                                           lazily opened by
+                                                           default (--max-open
+                                                           caps residency),
+                                                           graceful drain on
+                                                           SIGINT/SIGTERM
 
 Saved indexes are opened through :func:`repro.index.open_index`, so
 every lifecycle command accepts either layout — a single ``.npz`` file
@@ -531,16 +545,117 @@ def cmd_index_merge(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    """``serve``: run the async retrieval server over one saved index.
+def cmd_catalog_init(args: argparse.Namespace) -> int:
+    """``catalog init``: start an empty ``catalog.json`` in a directory."""
+    from pathlib import Path
 
-    The index is opened once — memory-mapped unless ``--no-mmap`` — and
-    served until SIGINT/SIGTERM, which triggers a graceful drain:
-    in-flight requests complete, the micro-batch dispatcher flushes,
-    then the process exits 0."""
+    from .catalog import CATALOG_NAME, Catalog
+
+    directory = Path(args.dir)
+    manifest = directory / CATALOG_NAME
+    if manifest.exists():
+        print(f"{manifest} already exists; use `catalog add` to register "
+              f"indexes in it", file=sys.stderr)
+        return 2
+    written = Catalog(root=directory).save()
+    print(f"Initialised empty catalog at {written}; register indexes with "
+          f"`catalog add {args.dir} --name NAME --path PATH`")
+    return 0
+
+
+def cmd_catalog_add(args: argparse.Namespace) -> int:
+    """``catalog add``: register one saved index under a name.
+
+    The entry's ``kind`` and ``model_id`` are read from the layout
+    itself (:func:`~repro.index.read_index_spec` — manifest/payload
+    only, no vector data), so the manifest can never disagree with the
+    index it points at the moment it is written."""
+    from .catalog import Catalog, CatalogEntry
+    from .index import read_index_spec
+
+    try:
+        catalog = Catalog.load(args.dir)
+    except FileNotFoundError:
+        print(f"no catalog at {args.dir} (run `catalog init {args.dir}` "
+              f"first)", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    entry = CatalogEntry(name=args.name, path=args.path, kind="vector")
+    try:
+        spec, format_version = read_index_spec(catalog.resolve_path(entry))
+    except FileNotFoundError as error:
+        print(f"cannot add {args.name!r}: {error} (paths resolve against "
+              f"the catalog directory unless absolute)", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"cannot add {args.name!r}: {error}", file=sys.stderr)
+        return 2
+    entry.kind = spec.kind
+    entry.model_id = spec.model_id
+    try:
+        catalog.add(entry)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.default:
+        catalog.set_default(args.name)
+    catalog.save()
+    marker = " (default)" if catalog.default_name == args.name else ""
+    print(f"Added {args.name!r} -> {args.path} "
+          f"({spec.describe()} format=v{format_version}) "
+          f"[{len(catalog)} entries]{marker}")
+    return 0
+
+
+def cmd_catalog_list(args: argparse.Namespace) -> int:
+    """``catalog list``: every entry with its live on-disk spec.
+
+    An entry whose layout no longer opens is *listed*, marked
+    unreadable — a stale catalog should be visible, not a crash."""
+    from .catalog import Catalog
+    from .index import read_index_spec
+
+    try:
+        catalog = Catalog.load(args.dir)
+    except FileNotFoundError:
+        print(f"no catalog at {args.dir} (run `catalog init {args.dir}` "
+              f"first)", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(f"{args.dir}: {len(catalog)} "
+          f"{'entry' if len(catalog) == 1 else 'entries'}")
+    for entry in catalog:
+        marker = "*" if entry.name == catalog.default_name else " "
+        try:
+            spec, format_version = read_index_spec(
+                catalog.resolve_path(entry))
+        except (FileNotFoundError, ValueError) as error:
+            print(f"{marker} {entry.name:<16} UNREADABLE ({error}) "
+                  f"path={entry.path}")
+            continue
+        print(f"{marker} {entry.name:<16} {spec.describe()} "
+              f"format=v{format_version} path={entry.path}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the async retrieval server.
+
+    ``path`` may be one saved index (single ``.npz`` or sharded
+    directory) — opened once, memory-mapped unless ``--no-mmap`` — or a
+    catalog directory, whose entries open lazily as queries route to
+    them (``--max-open`` caps how many stay resident).  Serves until
+    SIGINT/SIGTERM, which triggers a graceful drain: in-flight requests
+    complete, every open dispatcher flushes, then the process exits 0.
+    """
     import asyncio
     import signal
 
+    from .catalog import Catalog
     from .index import open_index
     from .serve import RetrievalServer
 
@@ -553,22 +668,57 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.jobs is not None and args.jobs <= 0:
         print("--jobs must be positive", file=sys.stderr)
         return 2
-    try:
-        index = open_index(args.path, mmap=not args.no_mmap)
-    except (FileNotFoundError, ValueError) as error:
-        print(str(error), file=sys.stderr)
+    if args.max_open is not None and args.max_open < 1:
+        print("--max-open must be at least 1", file=sys.stderr)
         return 2
+    catalog = None
+    if Catalog.handles(args.path):
+        try:
+            catalog = Catalog.load(args.path)
+        except (FileNotFoundError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        if not len(catalog):
+            print(f"{args.path} is an empty catalog; register indexes "
+                  f"with `catalog add` before serving", file=sys.stderr)
+            return 2
+        target = catalog
+    else:
+        try:
+            target = open_index(args.path, mmap=not args.no_mmap)
+        except (FileNotFoundError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
 
-    async def _serve() -> None:
-        server = RetrievalServer(index, host=args.host, port=args.port,
+    async def _serve() -> int:
+        server = RetrievalServer(target, host=args.host, port=args.port,
                                  max_batch=args.max_batch,
                                  max_wait_ms=args.max_wait_ms,
-                                 jobs=args.jobs, log_path=args.log_file)
-        await server.start()
-        print(f"Serving {index.kind} index ({len(index)} entries, "
-              f"{'mmap' if not args.no_mmap else 'eager'}) on "
-              f"http://{args.host}:{server.port} — POST /query, "
-              f"GET /healthz, GET /stats", flush=True)
+                                 jobs=args.jobs, mmap=not args.no_mmap,
+                                 max_open=args.max_open,
+                                 log_path=args.log_file)
+        try:
+            await server.start()
+        except (FileNotFoundError, ValueError) as error:
+            # The catalog's default entry failed to open (missing or
+            # stale layout): refuse to start rather than 500 later.
+            print(str(error), file=sys.stderr)
+            return 2
+        if catalog is not None:
+            names = ", ".join(entry.name for entry in catalog)
+            cap = "all resident" if args.max_open is None \
+                else f"max {args.max_open} open"
+            print(f"Serving catalog of {len(catalog)} indexes ({names}; "
+                  f"default {catalog.default_name!r}, "
+                  f"{'mmap' if not args.no_mmap else 'eager'}, {cap}) on "
+                  f"http://{args.host}:{server.port} — POST /query "
+                  f"(optional \"index\" route), GET /indexes, "
+                  f"GET /healthz, GET /stats", flush=True)
+        else:
+            print(f"Serving {target.kind} index ({len(target)} entries, "
+                  f"{'mmap' if not args.no_mmap else 'eager'}) on "
+                  f"http://{args.host}:{server.port} — POST /query, "
+                  f"GET /healthz, GET /stats", flush=True)
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -583,9 +733,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             await server.shutdown()
             print(f"Served {server.stats.requests_total} requests "
                   f"({server.stats.queries_total} queries)")
+        return 0
 
     try:
-        asyncio.run(_serve())
+        return asyncio.run(_serve())
     except KeyboardInterrupt:  # pragma: no cover - signal-handler race
         pass
     return 0
@@ -710,10 +861,42 @@ def build_parser() -> argparse.ArgumentParser:
                               "layout)")
     p_merge.set_defaults(func=cmd_index_merge)
 
-    p_serve = sub.add_parser("serve", help="serve a saved index over HTTP "
+    p_catalog = sub.add_parser("catalog", help="manage a catalog of named "
+                                               "indexes for multi-index "
+                                               "serving")
+    catalog_sub = p_catalog.add_subparsers(dest="catalog_command",
+                                           required=True)
+
+    p_cinit = catalog_sub.add_parser("init", help="start an empty "
+                                                  "catalog.json")
+    p_cinit.add_argument("dir", help="catalog directory (created if needed)")
+    p_cinit.set_defaults(func=cmd_catalog_init)
+
+    p_cadd = catalog_sub.add_parser("add", help="register a saved index "
+                                                "under a name")
+    p_cadd.add_argument("dir", help="catalog directory (from `catalog init`)")
+    p_cadd.add_argument("--name", required=True,
+                        help="name queries route to ({\"index\": NAME})")
+    p_cadd.add_argument("--path", required=True,
+                        help="saved index (.npz file or sharded dir); "
+                             "relative paths resolve against the catalog "
+                             "directory, keeping it relocatable")
+    p_cadd.add_argument("--default", action="store_true",
+                        help="make this entry the default route (requests "
+                             "without an \"index\" field)")
+    p_cadd.set_defaults(func=cmd_catalog_add)
+
+    p_clist = catalog_sub.add_parser("list", help="show every entry with "
+                                                  "its live on-disk spec")
+    p_clist.add_argument("dir", help="catalog directory")
+    p_clist.set_defaults(func=cmd_catalog_list)
+
+    p_serve = sub.add_parser("serve", help="serve a saved index or a "
+                                           "catalog of them over HTTP "
                                            "(micro-batched, memory-mapped)")
     p_serve.add_argument("path", help="saved index (.npz file or sharded "
-                                      "dir), e.g. out/tables")
+                                      "dir), e.g. out/tables, or a catalog "
+                                      "directory holding catalog.json")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080,
                          help="listen port (0 picks an ephemeral port; "
@@ -727,6 +910,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--jobs", type=int, default=None,
                          help="fan per-shard work of each micro-batch over "
                               "N threads (sharded layouts)")
+    p_serve.add_argument("--max-open", type=int, default=None,
+                         help="cap on concurrently open catalog entries "
+                              "(LRU-evicted beyond it; default unbounded; "
+                              "ignored for a bare index path)")
     p_serve.add_argument("--no-mmap", action="store_true",
                          help="read vector matrices eagerly instead of "
                               "memory-mapping them")

@@ -22,6 +22,7 @@ from .backends import (
     ShardedDirBackend,
     SingleFileBackend,
     open_index,
+    read_index_spec,
     save_index,
 )
 from .fingerprint import table_fingerprint
@@ -33,6 +34,7 @@ from .index import (
     VectorIndex,
     index_class,
     load_index,
+    read_saved_payload,
 )
 from .sharded import ShardedIndex, shard_of
 from .spec import IndexSpec
@@ -45,5 +47,6 @@ __all__ = [
     "FORMAT_VERSION", "index_class",
     "IndexSpec", "ShardedIndex", "shard_of",
     "IndexBackend", "SingleFileBackend", "ShardedDirBackend",
-    "open_index", "save_index", "MANIFEST_NAME", "MANIFEST_VERSION",
+    "open_index", "save_index", "read_index_spec", "read_saved_payload",
+    "MANIFEST_NAME", "MANIFEST_VERSION",
 ]

@@ -38,7 +38,7 @@ import zipfile
 from pathlib import Path
 from typing import Protocol, runtime_checkable
 
-from .index import VectorIndex
+from .index import FORMAT_VERSION, VectorIndex, read_saved_payload
 from .sharded import ShardedIndex
 from .spec import IndexSpec
 
@@ -228,6 +228,60 @@ def open_index(path: str | Path,
     for backend in BACKENDS:
         if backend.handles(path):
             return backend.load(path, mmap=mmap)
+    if path.is_dir():
+        raise FileNotFoundError(
+            f"{path} is a directory without {MANIFEST_NAME} — not a "
+            f"sharded index layout")
+    raise FileNotFoundError(f"no index file at {path}")
+
+
+def read_index_spec(path: str | Path) -> tuple[IndexSpec, int]:
+    """Peek at a saved index's ``(spec, format_version)`` without
+    loading any vector data.
+
+    Works on both layouts: a sharded directory's spec comes from its
+    manifest (format version from the first shard's payload — shards
+    are written together, so one member answers for the layout), a
+    single file's from the lazily-read ``.npz`` payload.  The cheap
+    inspection path ``catalog add``/``catalog list`` use to verify an
+    entry's kind and checkpoint stamp; same error contract as
+    :func:`open_index` (``FileNotFoundError`` for "nothing here",
+    ``ValueError`` for a broken or too-new layout)."""
+    path = Path(path)
+    if (path / MANIFEST_NAME).is_file():
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        version = manifest.get("manifest_version", 1)
+        if version > MANIFEST_VERSION:
+            raise ValueError(f"{path} uses manifest v{version}; this build "
+                             f"reads up to v{MANIFEST_VERSION}")
+        entries = manifest.get("shards")
+        spec_params = manifest.get("spec")
+        if (not isinstance(entries, list) or not isinstance(spec_params, dict)
+                or not all(isinstance(entry, dict) and "file" in entry
+                           for entry in entries)):
+            raise ValueError(
+                f"{path / MANIFEST_NAME} lacks the required 'spec'/'shards' "
+                f"structure — the layout is inconsistent (partial write or "
+                f"hand edit?)")
+        try:
+            spec = IndexSpec.from_params(spec_params)
+        except KeyError as error:
+            raise ValueError(
+                f"{path / MANIFEST_NAME} spec lacks required field "
+                f"{error} — the layout is inconsistent (partial write or "
+                f"hand edit?)") from error
+        if not entries:
+            return spec, FORMAT_VERSION
+        return spec, read_saved_payload(path / entries[0]["file"])[
+            "format_version"]
+    if path.is_file() or path.with_name(path.name + ".npz").is_file():
+        payload = read_saved_payload(path)
+        try:
+            return (IndexSpec.from_params(payload["params"]),
+                    payload["format_version"])
+        except KeyError as error:
+            raise ValueError(f"{path} payload lacks required field {error} — "
+                             f"the file is corrupt or hand-edited") from error
     if path.is_dir():
         raise FileNotFoundError(
             f"{path} is a directory without {MANIFEST_NAME} — not a "

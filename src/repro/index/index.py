@@ -169,6 +169,11 @@ class VectorIndex:
         #: mix vectors from two *different known* checkpoints — same
         #: dim and variant do not imply the same embedding space.
         self.model_id: str | None = None
+        #: The on-disk format version this index was loaded from
+        #: (:data:`FORMAT_VERSION` for a fresh in-memory build).
+        #: Surfaced by the server's ``/healthz`` so a deployment can
+        #: verify which format generation is live.
+        self.format_version: int = FORMAT_VERSION
 
     # ------------------------------------------------------------------
     # Population
@@ -556,16 +561,7 @@ class VectorIndex:
         without saved keys still open under mmap; they pay one streamed
         hashing pass over the mapping, but never a resident in-heap
         copy.  Results are bit-identical either way."""
-        path = Path(path)
-        if not path.is_file():
-            # save("foo.idx") writes "foo.idx.npz" (numpy appends the
-            # suffix), so the fallback must *append* too — with_suffix
-            # would replace ".idx" and look for a "foo.npz" that was
-            # never written.  Gate on is_file, not exists: a stray
-            # *directory* at ``path`` must not pre-empt the sibling.
-            appended = path.with_name(path.name + ".npz")
-            if appended.is_file():
-                path = appended
+        path = _resolve_saved_path(path)
         with np.load(path) as archive:
             payload = json.loads(bytes(archive[_PAYLOAD_KEY]).decode("utf-8"))
             band_keys = (archive["band_keys"]
@@ -594,10 +590,45 @@ class VectorIndex:
         if cls is not VectorIndex and target is not cls:
             raise ValueError(f"{path} holds a {params.get('kind')!r} index, "
                              f"not {cls.kind!r}")
-        return target._from_payload(params, payload["keys"], payload["meta"],
-                                    vectors, payload.get("tombstones", []),
-                                    band_keys=None if band_keys is None
-                                    else np.asarray(band_keys, np.int64).T)
+        index = target._from_payload(params, payload["keys"], payload["meta"],
+                                     vectors, payload.get("tombstones", []),
+                                     band_keys=None if band_keys is None
+                                     else np.asarray(band_keys, np.int64).T)
+        index.format_version = version
+        return index
+
+
+def _resolve_saved_path(path: str | Path) -> Path:
+    """Where a saved single-file index actually lives.
+
+    save("foo.idx") writes "foo.idx.npz" (numpy appends the suffix), so
+    the fallback must *append* too — with_suffix would replace ".idx"
+    and look for a "foo.npz" that was never written.  Gate on is_file,
+    not exists: a stray *directory* at ``path`` must not pre-empt the
+    sibling."""
+    path = Path(path)
+    if not path.is_file():
+        appended = path.with_name(path.name + ".npz")
+        if appended.is_file():
+            path = appended
+    return path
+
+
+def read_saved_payload(path: str | Path) -> dict:
+    """The JSON payload (params/keys/meta/format_version) of a saved
+    single-file index, *without* touching its vector data — ``np.load``
+    reads zip members lazily, so only the payload member is decoded.
+    The cheap peek ``catalog add``/``catalog list`` use to verify kind
+    and checkpoint without opening the index."""
+    path = _resolve_saved_path(path)
+    with np.load(path) as archive:
+        payload = json.loads(bytes(archive[_PAYLOAD_KEY]).decode("utf-8"))
+    version = payload.get("format_version", 1)
+    if version > FORMAT_VERSION:
+        raise ValueError(f"{path} uses index format v{version}; this "
+                         f"build reads up to v{FORMAT_VERSION}")
+    payload.setdefault("format_version", version)
+    return payload
 
 
 def load_index(path: str | Path) -> VectorIndex:

@@ -52,7 +52,7 @@ from pathlib import Path
 import numpy as np
 
 from ..retrieval.lsh import merge_ranked
-from .index import SearchHit, _check_jobs, merge_into
+from .index import FORMAT_VERSION, SearchHit, _check_jobs, merge_into
 from .spec import IndexSpec
 
 
@@ -133,6 +133,14 @@ class ShardedIndex:
     @model_id.setter
     def model_id(self, value: str | None) -> None:
         self.spec.model_id = value
+
+    @property
+    def format_version(self) -> int:
+        """The newest on-disk format version among the shards (all are
+        written together, so normally they agree); the health-check
+        counterpart of ``VectorIndex.format_version``."""
+        return max((shard.format_version for shard in self.shards),
+                   default=FORMAT_VERSION)
 
     def shard_sizes(self) -> list[int]:
         """Live entries per shard (skew diagnostic)."""

@@ -77,6 +77,15 @@ class IndexSpec:
         index._restore_extra(self.extra)
         return index
 
+    def describe(self) -> str:
+        """One-line human summary (``catalog list``, server logs):
+        kind, dim, composition extras, and a shortened checkpoint."""
+        bits = [f"kind={self.kind}", f"dim={self.dim}"]
+        bits += [f"{key}={value}" for key, value in sorted(self.extra.items())]
+        if self.model_id is not None:
+            bits.append(f"model={self.model_id[:12]}")
+        return " ".join(bits)
+
     def signature(self) -> dict:
         """What two indexes must agree on to hold vectors from the same
         space: kind, dim, kind-specific composition params, and — when

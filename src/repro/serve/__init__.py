@@ -1,22 +1,28 @@
-"""Async retrieval serving over a saved index.
+"""Async retrieval serving over a catalog of saved indexes.
 
-The served front-end for the concurrent query engine: one
-:func:`~repro.index.open_index` handle (memory-mapped by default from
-the CLI, so cold starts of huge sharded layouts read no vector data),
-an asyncio HTTP/1.1 server (:class:`RetrievalServer`), and a
-micro-batching dispatcher (:class:`MicroBatchDispatcher`) that
-coalesces concurrent requests into shared ``query_many`` GEMMs while
-keeping every served ranking identical to the offline CLI path.
+The served front-end for the concurrent query engine: a
+:class:`~repro.catalog.CatalogHandle` of named indexes (each opened
+lazily via :func:`~repro.index.open_index` — memory-mapped by default
+from the CLI, so cold starts of huge sharded layouts read no vector
+data — and LRU-evicted under a configurable cap), an asyncio HTTP/1.1
+server (:class:`RetrievalServer`) that routes ``POST /query`` by the
+optional ``"index"`` name field, and per-index micro-batching
+dispatchers (:class:`MicroBatchDispatcher`) that coalesce concurrent
+requests into shared ``query_many`` GEMMs while keeping every served
+ranking identical to the offline CLI path.
 
-Start one from the command line with ``python -m repro.cli serve``, or
-in-process (tests, benchmarks) with :class:`ServerThread`.
+Start one from the command line with ``python -m repro.cli serve``
+(a bare index path or a catalog directory), or in-process (tests,
+benchmarks) with :class:`ServerThread`.
 """
 
-from .dispatcher import MicroBatchDispatcher
+from .dispatcher import MicroBatchDispatcher, validate_dispatch_params
 from .protocol import (
     DEFAULT_MAX_BODY,
     ProtocolError,
     Request,
+    index_route,
+    parse_json_object,
     parse_query_payload,
     read_request,
     render_response,
@@ -27,6 +33,7 @@ from .stats import ServerStats
 __all__ = [
     "RetrievalServer", "ServerThread", "MicroBatchDispatcher",
     "ServerStats", "ProtocolError", "Request", "read_request",
-    "render_response", "parse_query_payload", "DEFAULT_MAX_BODY",
+    "render_response", "parse_query_payload", "parse_json_object",
+    "index_route", "validate_dispatch_params", "DEFAULT_MAX_BODY",
     "LOG_ENV",
 ]

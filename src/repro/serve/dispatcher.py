@@ -34,6 +34,20 @@ from functools import partial
 import numpy as np
 
 
+def validate_dispatch_params(max_batch: int, max_wait_ms: float,
+                             jobs: int | None) -> None:
+    """The dispatcher's constructor checks, callable up front — the
+    catalog handle creates dispatchers lazily (one per index, on first
+    use), so a bad knob must fail at server construction rather than at
+    the first routed query."""
+    if max_batch < 1:
+        raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+    if max_wait_ms < 0:
+        raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+
+
 class _Pending:
     """One enqueued query awaiting its tick."""
 
@@ -72,12 +86,7 @@ class MicroBatchDispatcher:
     def __init__(self, index, max_batch: int = 32,
                  max_wait_ms: float = 2.0, jobs: int | None = None,
                  stats=None):
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be at least 1, got {max_batch}")
-        if max_wait_ms < 0:
-            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
-        if jobs is not None and jobs < 1:
-            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        validate_dispatch_params(max_batch, max_wait_ms, jobs)
         self.index = index
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms

@@ -178,7 +178,37 @@ def json_body(payload: dict) -> bytes:
     return (json.dumps(payload) + "\n").encode("utf-8")
 
 
-def parse_query_payload(body: bytes,
+def parse_json_object(body: bytes) -> dict:
+    """Decode a request body into a JSON object, or 400.
+
+    Split out of :func:`parse_query_payload` for the catalog-routed
+    server: the optional ``"index"`` route field must be read (and the
+    target index resolved — its ``dim`` drives validation) *before* the
+    vectors can be checked."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(400, f"request body is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise ProtocolError(400, "request body must be a JSON object")
+    return payload
+
+
+def index_route(payload: dict) -> str | None:
+    """The optional ``"index"`` field of a ``POST /query`` payload:
+    ``None`` when absent (→ the catalog's default entry), the name when
+    it is a non-empty string, 400 otherwise.  Whether the *name* exists
+    is the server's call (unknown → 404)."""
+    name = payload.get("index")
+    if name is None:
+        return None
+    if not isinstance(name, str) or not name:
+        raise ProtocolError(400, "'index' must be a non-empty string "
+                            "naming a catalog entry")
+    return name
+
+
+def parse_query_payload(body: bytes | dict,
                         dim: int) -> tuple[np.ndarray, int,
                                            list[str | None], bool]:
     """Validate a ``POST /query`` body into query inputs.
@@ -188,17 +218,16 @@ def parse_query_payload(body: bytes,
         {"vector":  [...],          "k": 5, "exclude": "key"}
         {"vectors": [[...], [...]], "k": 5, "excludes": ["key", null]}
 
-    Returns ``(matrix, k, excludes, single)`` where ``single`` records
-    which shape the client used (it picks the response shape).  Every
-    validation failure is a :class:`ProtocolError` with status 400 and a
-    message naming what was wrong — the server never 500s on bad input.
+    Accepts raw bytes or an already-decoded object (the routed server
+    parses JSON once, resolves the ``"index"`` field, then validates
+    against the routed index's ``dim``).  Returns ``(matrix, k,
+    excludes, single)`` where ``single`` records which shape the client
+    used (it picks the response shape).  Every validation failure is a
+    :class:`ProtocolError` with status 400 and a message naming what
+    was wrong — the server never 500s on bad input.
     """
-    try:
-        payload = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise ProtocolError(400, f"request body is not valid JSON: {error}")
-    if not isinstance(payload, dict):
-        raise ProtocolError(400, "request body must be a JSON object")
+    payload = (parse_json_object(body)
+               if isinstance(body, (bytes, bytearray)) else body)
     if "vector" in payload and "vectors" in payload:
         raise ProtocolError(400, "'vector' and 'vectors' are mutually "
                             "exclusive")

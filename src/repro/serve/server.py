@@ -1,22 +1,37 @@
-"""The retrieval server: asyncio HTTP front-end over one open index.
+"""The retrieval server: asyncio HTTP front-end over a catalog of
+named indexes.
 
-:class:`RetrievalServer` holds one :func:`~repro.index.open_index`
-handle (typically opened ``mmap=True``, so even a huge sharded layout
-boots without reading its vector data) and serves:
+:class:`RetrievalServer` holds a
+:class:`~repro.catalog.CatalogHandle` — one entry per named index,
+opened lazily via :func:`~repro.index.open_index` (typically
+``mmap=True``, so even a huge sharded layout boots without reading its
+vector data) and LRU-evicted under a configurable cap — and serves:
 
-- ``POST /query``   — single or batch JSON queries, answered from the
-  micro-batching dispatcher so concurrent requests share GEMMs; served
-  rankings are pinned identical to the offline ``query_many`` path.
-- ``GET /healthz``  — liveness plus index identity (kind/dim/entries).
-- ``GET /stats``    — QPS, latency percentiles, batch-size shape, and
-  dispatcher backlog.
+- ``POST /query``   — single or batch JSON queries, routed by the
+  optional ``"index"`` name field (absent → the default entry, exactly
+  the one-index wire contract; unknown → 404), answered from that
+  entry's own micro-batching dispatcher so concurrent requests share
+  GEMMs but distinct indexes never share batch ticks; served rankings
+  are pinned identical to the offline ``query_many`` path.
+- ``GET /indexes``  — the catalog: every entry with its open/closed
+  state and per-entry traffic counters.
+- ``GET /healthz``  — liveness plus the default index's identity
+  (kind/dim/entries/model checkpoint/saved format version).
+- ``GET /stats``    — QPS, latency percentiles, batch-size shape,
+  dispatcher backlog, and a per-index section (queries, batch shapes,
+  opens, evictions).
 
-The query path never writes to the index, so one server instance
+A server constructed from a bare index (the pre-catalog API, still the
+``serve PATH``-to-a-``.npz`` path) wraps it as a pinned single-entry
+catalog, so every old caller — and every old client — sees byte-
+identical behaviour.
+
+The query path never writes to any index, so one server instance
 handles any number of concurrent connections without locks; the only
 writer-adjacent machinery is shutdown, which *drains*: the listener
 closes, idle keep-alive connections are disconnected, in-flight
-requests run to completion (the dispatcher flushes their queries), and
-only then does :meth:`RetrievalServer.shutdown` return.
+requests run to completion (every open entry's dispatcher flushes its
+queries), and only then does :meth:`RetrievalServer.shutdown` return.
 
 :class:`ServerThread` wraps a server in a background thread with its
 own event loop — the harness the e2e/soak tests and the serving
@@ -32,14 +47,16 @@ import threading
 import time
 from pathlib import Path
 
-from .dispatcher import MicroBatchDispatcher
+from ..catalog import Catalog, CatalogHandle
 from .protocol import (
     DEFAULT_MAX_BODY,
     STREAM_LIMIT,
     ProtocolError,
     Request,
     format_hits,
+    index_route,
     json_body,
+    parse_json_object,
     parse_query_payload,
     read_request,
     render_response,
@@ -67,22 +84,38 @@ class _Connection:
 
 
 class RetrievalServer:
-    """Serve one opened index over hand-rolled HTTP/1.1."""
+    """Serve a catalog of indexes over hand-rolled HTTP/1.1.
 
-    def __init__(self, index, host: str = "127.0.0.1", port: int = 0, *,
+    ``target`` may be a :class:`~repro.catalog.CatalogHandle` (full
+    control over open policy), a :class:`~repro.catalog.Catalog`
+    (wrapped in a handle using ``mmap``/``max_open``), or an already-
+    open index (wrapped as a pinned single-entry catalog — the
+    pre-catalog constructor contract, unchanged)."""
+
+    def __init__(self, target, host: str = "127.0.0.1", port: int = 0, *,
                  max_batch: int = 32, max_wait_ms: float = 2.0,
-                 jobs: int | None = None, max_body: int = DEFAULT_MAX_BODY,
+                 jobs: int | None = None, mmap: bool = True,
+                 max_open: int | None = None,
+                 max_body: int = DEFAULT_MAX_BODY,
                  drain_timeout: float = 10.0,
                  log_path: str | Path | None = None):
-        self.index = index
+        if isinstance(target, CatalogHandle):
+            self.handle = target
+        elif isinstance(target, Catalog):
+            self.handle = CatalogHandle(target, mmap=mmap, max_open=max_open)
+        else:
+            self.handle = CatalogHandle.for_index(target)
         self.host = host
         self._requested_port = port
         self.max_body = max_body
         self.drain_timeout = drain_timeout
         self.stats = ServerStats()
-        self.dispatcher = MicroBatchDispatcher(index, max_batch=max_batch,
-                                               max_wait_ms=max_wait_ms,
-                                               jobs=jobs, stats=self.stats)
+        # Validates the knobs eagerly; per-entry dispatchers are created
+        # lazily by the handle, on each entry's first use.
+        self.handle.configure_dispatch(stats=self.stats, max_batch=max_batch,
+                                       max_wait_ms=max_wait_ms, jobs=jobs)
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
         self._server: asyncio.Server | None = None
         self._connections: set[_Connection] = set()
         self._draining = False
@@ -91,6 +124,19 @@ class RetrievalServer:
             log_path = os.environ.get(LOG_ENV) or None
         self._log_path = None if log_path is None else Path(log_path)
         self._log_handle = None
+
+    # ------------------------------------------------------------------
+    # Back-compat surface (the pre-catalog one-index API)
+    # ------------------------------------------------------------------
+    @property
+    def index(self):
+        """The default entry's open index."""
+        return self.handle.get().index
+
+    @property
+    def dispatcher(self):
+        """The default entry's dispatcher."""
+        return self.handle.get().dispatcher
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -106,12 +152,22 @@ class RetrievalServer:
         if self._log_path is not None:
             self._log_path.parent.mkdir(parents=True, exist_ok=True)
             self._log_handle = open(self._log_path, "a", encoding="utf-8")
+        # The default entry opens at boot: a server that cannot serve
+        # its default index should fail to start, not 500 later, and
+        # /healthz answers from it without lazy-open surprises.
+        default = self.handle.get()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port,
             limit=STREAM_LIMIT)
-        self._log(f"serving kind={self.index.kind} dim={self.index.dim} "
-                  f"entries={len(self.index)} on "
+        self._log(f"serving kind={default.index.kind} "
+                  f"dim={default.index.dim} "
+                  f"entries={len(default.index)} on "
                   f"http://{self.host}:{self.port}")
+        if len(self.handle) > 1:
+            names = ", ".join(slot.name for slot in self.handle)
+            self._log(f"catalog: {len(self.handle)} indexes ({names}), "
+                      f"default {default.name!r}, "
+                      f"max_open={self.handle.max_open}")
 
     async def serve_forever(self) -> None:
         """Block until :meth:`shutdown` completes (CLI entry point)."""
@@ -119,7 +175,7 @@ class RetrievalServer:
 
     async def shutdown(self) -> None:
         """Graceful drain: stop accepting, finish in-flight requests,
-        flush the dispatcher, then return.  Idempotent."""
+        flush every open entry's dispatcher, then return.  Idempotent."""
         if self._draining:
             await self._stopped.wait()
             return
@@ -134,13 +190,16 @@ class RetrievalServer:
         for connection in list(self._connections):
             if not connection.busy:
                 connection.writer.close()
-        await self.dispatcher.drain()
+        for slot in self.handle.open_slots():
+            await slot.dispatcher.drain()
         deadline = time.monotonic() + self.drain_timeout
         while self._connections and time.monotonic() < deadline:
             # A handler that read its request just before the listener
-            # closed may enqueue queries *during* the drain; keep
-            # hurrying the dispatcher until every handler has answered.
-            self.dispatcher.flush_now()
+            # closed may enqueue queries *during* the drain — and may
+            # even lazily open another catalog entry; keep hurrying
+            # every open dispatcher until all handlers have answered.
+            for slot in self.handle.open_slots():
+                slot.dispatcher.flush_now()
             await asyncio.sleep(0.01)
         for connection in list(self._connections):
             self._log("drain timeout: force-closing a connection")
@@ -251,34 +310,86 @@ class RetrievalServer:
         if request.target == "/healthz":
             if request.method != "GET":
                 return 405, {"error": "/healthz takes GET"}, 0
+            default = self.handle.get()
             return 200, {
                 "status": "ok",
-                "kind": self.index.kind,
-                "dim": self.index.dim,
-                "entries": len(self.index),
-                "shards": getattr(self.index, "n_shards", 1),
+                "kind": default.index.kind,
+                "dim": default.index.dim,
+                "entries": len(default.index),
+                "shards": getattr(default.index, "n_shards", 1),
+                # Checkpoint + saved-format identity: what a catalog
+                # A/B deployment reads to verify which model is live.
+                "model_id": default.index.model_id,
+                "format_version": default.index.format_version,
+                "indexes": len(self.handle),
             }, 0
+        if request.target == "/indexes":
+            if request.method != "GET":
+                return 405, {"error": "/indexes takes GET"}, 0
+            return 200, {"indexes": [self._describe_slot(slot)
+                                     for slot in self.handle]}, 0
         if request.target == "/stats":
             if request.method != "GET":
                 return 405, {"error": "/stats takes GET"}, 0
             snapshot = self.stats.snapshot()
+            open_slots = self.handle.open_slots()
             snapshot["dispatcher"] = {
-                "pending": self.dispatcher.n_pending,
-                "in_flight_batches": self.dispatcher.n_inflight,
-                "max_batch": self.dispatcher.max_batch,
-                "max_wait_ms": self.dispatcher.max_wait_ms,
+                "pending": sum(slot.dispatcher.n_pending
+                               for slot in open_slots),
+                "in_flight_batches": sum(slot.dispatcher.n_inflight
+                                         for slot in open_slots),
+                "max_batch": self.max_batch,
+                "max_wait_ms": self.max_wait_ms,
             }
+            snapshot["indexes"] = {
+                slot.name: dict(slot.stats.snapshot(), open=slot.open)
+                for slot in self.handle}
             return 200, snapshot, 0
         return 404, {"error": f"no route {request.target!r}"}, 0
+
+    def _describe_slot(self, slot) -> dict:
+        entry = slot.entry
+        described = {
+            "name": entry.name,
+            "kind": entry.kind,
+            "path": entry.path,
+            "model_id": entry.model_id,
+            "default": entry.name == self.handle.default_name,
+            "open": slot.open,
+            # Only an *open* index knows its live entry count; listing
+            # must never force-open a closed one.
+            "entries": len(slot.index) if slot.open else None,
+            "queries": slot.stats.queries_total,
+        }
+        return described
 
     async def _respond_query(self,
                              request: Request) -> tuple[int, dict, int]:
         try:
-            matrix, k, excludes, single = parse_query_payload(
-                request.body, self.index.dim)
+            payload = parse_json_object(request.body)
+            name = index_route(payload)
         except ProtocolError as error:
             return error.status, {"error": error.message}, 0
-        results = await self.dispatcher.submit_many(matrix, k, excludes)
+        try:
+            slot = self.handle.get(name)
+        except KeyError:
+            known = ", ".join(repr(slot.name) for slot in self.handle)
+            return 404, {"error": f"no index named {name!r} "
+                                  f"(catalog has: {known})"}, 0
+        except (FileNotFoundError, ValueError) as error:
+            # The catalog names the entry but its layout won't open
+            # (deleted, corrupt, checkpoint mismatch): a server-side
+            # condition, not a client error.
+            self._log(f"failed to open index {name!r}: {error}")
+            return 500, {"error": f"failed to open index {name!r}: "
+                                  f"{error}"}, 0
+        try:
+            matrix, k, excludes, single = parse_query_payload(
+                payload, slot.index.dim)
+        except ProtocolError as error:
+            return error.status, {"error": error.message}, 0
+        results = await slot.dispatcher.submit_many(matrix, k, excludes)
+        slot.stats.record_queries(len(results))
         if single:
             return 200, {"hits": format_hits(results[0])}, 1
         return 200, {"results": [{"hits": format_hits(hits)}
@@ -291,15 +402,15 @@ class ServerThread:
     Context-manager harness for in-process clients (tests, the serving
     benchmark)::
 
-        with ServerThread(index, max_wait_ms=1.0) as handle:
+        with ServerThread(index_or_catalog, max_wait_ms=1.0) as handle:
             requests.post(f"http://127.0.0.1:{handle.port}/query", ...)
 
     ``__exit__`` performs the same graceful drain the CLI's signal
     handler does, so in-flight requests finish before the thread joins.
     """
 
-    def __init__(self, index, **server_kwargs):
-        self.server = RetrievalServer(index, **server_kwargs)
+    def __init__(self, target, **server_kwargs):
+        self.server = RetrievalServer(target, **server_kwargs)
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._started = threading.Event()

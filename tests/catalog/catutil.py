@@ -1,0 +1,52 @@
+"""Shared helpers for the catalog test layer.
+
+Same corpus discipline as the serving tests: seeded gaussian vectors
+with duplicate rows (dense score ties), saved as either layout, so a
+handle that reopened the wrong thing — or reopened the right thing
+differently — cannot hide behind unique scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog import Catalog, CatalogEntry
+from repro.index import IndexSpec, ShardedIndex, VectorIndex
+
+#: Each distinct vector appears this many times (distinct keys).
+DUP_EVERY = 3
+
+
+def make_corpus(n: int = 120, dim: int = 12, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal(((n + DUP_EVERY - 1) // DUP_EVERY, dim))
+    vectors = np.repeat(base, DUP_EVERY, axis=0)[:n]
+    return [f"t{i:05d}" for i in range(n)], vectors
+
+
+def save_layout(tmp_path, keys, vectors, n_shards: int, seed: int = 0,
+                name: str = "index"):
+    """Persist as a single ``.npz`` (``n_shards == 1``) or a sharded
+    directory; returns the saved path."""
+    dim = vectors.shape[1]
+    if n_shards == 1:
+        index = VectorIndex(dim=dim, seed=seed)
+        index.add_batch(keys, vectors)
+        return index.save(tmp_path / f"{name}.npz")
+    sharded = ShardedIndex.create(
+        IndexSpec(kind="vector", dim=dim, seed=seed), n_shards)
+    sharded.add_batch(keys, vectors)
+    return sharded.save(tmp_path / name)
+
+
+def write_catalog(root, layouts: dict[str, object],
+                  default: str | None = None) -> Catalog:
+    """A saved catalog whose entries point at ``layouts`` (name ->
+    already-saved path inside ``root``)."""
+    catalog = Catalog(root=root)
+    for name, path in layouts.items():
+        catalog.add(CatalogEntry(name=name,
+                                 path=str(path.relative_to(root)),
+                                 kind="vector", default=name == default))
+    catalog.save()
+    return catalog

@@ -1,0 +1,172 @@
+"""Catalog manifest: round-trips, invariants, one-clear-error loads.
+
+The manifest follows the persistence discipline the index backends
+established: a load either succeeds or raises **one ValueError** naming
+the file and the problem (``FileNotFoundError`` only for "nothing at
+this path"), and every invariant `load` enforces — unique names, at
+most one default, known kinds — holds for catalogs built in memory
+too, so a catalog that saved can always be loaded.
+"""
+
+import json
+
+import pytest
+
+from repro.catalog import CATALOG_NAME, CATALOG_VERSION, Catalog, CatalogEntry
+
+
+def entry(name="tables", path="tables.npz", kind="table", **kwargs):
+    return CatalogEntry(name=name, path=path, kind=kind, **kwargs)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_entries_and_default(self, tmp_path):
+        catalog = Catalog(root=tmp_path)
+        catalog.add(entry("tables", kind="table"))
+        catalog.add(entry("columns", "columns", kind="column",
+                          model_id="ckpt-1", default=True))
+        written = catalog.save()
+        assert written == tmp_path / CATALOG_NAME
+        loaded = Catalog.load(tmp_path)
+        assert [e.name for e in loaded] == ["tables", "columns"]
+        assert loaded.default_name == "columns"
+        got = loaded.entries["columns"]
+        assert (got.path, got.kind, got.model_id) == ("columns", "column",
+                                                      "ckpt-1")
+
+    def test_manifest_is_versioned_stable_json(self, tmp_path):
+        catalog = Catalog([entry()], root=tmp_path)
+        catalog.save()
+        manifest = json.loads((tmp_path / CATALOG_NAME).read_text())
+        assert manifest["catalog_version"] == CATALOG_VERSION
+        assert manifest["entries"][0]["name"] == "tables"
+        # Indented + newline-terminated: the file is meant to live in
+        # version control with readable diffs.
+        text = (tmp_path / CATALOG_NAME).read_text()
+        assert text.endswith("\n") and "\n  " in text
+
+    def test_catalog_directory_is_relocatable(self, tmp_path):
+        import shutil
+
+        old = tmp_path / "old"
+        catalog = Catalog([entry()], root=old)
+        catalog.save()
+        new = tmp_path / "moved"
+        shutil.move(old, new)
+        loaded = Catalog.load(new)
+        resolved = loaded.resolve_path(loaded.entries["tables"])
+        assert resolved == new / "tables.npz"
+
+    def test_absolute_paths_pass_through(self, tmp_path):
+        catalog = Catalog([entry(path="/abs/tables.npz")], root=tmp_path)
+        resolved = catalog.resolve_path(catalog.entries["tables"])
+        assert str(resolved) == "/abs/tables.npz"
+
+    def test_load_accepts_dir_or_manifest_file(self, tmp_path):
+        Catalog([entry()], root=tmp_path).save()
+        assert Catalog.load(tmp_path).default_name == "tables"
+        assert Catalog.load(tmp_path / CATALOG_NAME).default_name == "tables"
+
+
+class TestInvariants:
+    def test_duplicate_names_are_rejected(self):
+        catalog = Catalog([entry()])
+        with pytest.raises(ValueError, match="already has an entry named"):
+            catalog.add(entry())
+
+    def test_second_default_is_rejected(self):
+        catalog = Catalog([entry(default=True)])
+        with pytest.raises(ValueError, match="only one entry may be"):
+            catalog.add(entry("columns", default=True))
+
+    def test_default_falls_back_to_first_entry(self):
+        catalog = Catalog([entry("a"), entry("b")])
+        assert catalog.default_name == "a"
+        assert Catalog().default_name is None
+
+    def test_set_default_moves_the_flag(self):
+        catalog = Catalog([entry("a", default=True), entry("b")])
+        assert catalog.set_default("b") == "a"
+        assert catalog.default_name == "b"
+        assert not catalog.entries["a"].default
+        with pytest.raises(KeyError):
+            catalog.set_default("nope")
+
+    def test_in_memory_entries_cannot_be_persisted(self, tmp_path):
+        catalog = Catalog(root=tmp_path)
+        catalog.add(CatalogEntry(name="live", path=None, kind="vector"))
+        with pytest.raises(ValueError, match="in-memory only"):
+            catalog.save()
+        with pytest.raises(ValueError, match="no path to resolve"):
+            catalog.resolve_path(catalog.entries["live"])
+
+    def test_rootless_catalog_needs_an_explicit_save_path(self):
+        with pytest.raises(ValueError, match="no root"):
+            Catalog([entry()]).save()
+
+
+class TestHandlesSniffing:
+    def test_recognises_catalog_dir_and_manifest_file(self, tmp_path):
+        Catalog([entry()], root=tmp_path).save()
+        assert Catalog.handles(tmp_path)
+        assert Catalog.handles(tmp_path / CATALOG_NAME)
+
+    def test_rejects_non_catalogs(self, tmp_path):
+        assert not Catalog.handles(tmp_path)
+        assert not Catalog.handles(tmp_path / "missing")
+        (tmp_path / "index.npz").write_bytes(b"x")
+        assert not Catalog.handles(tmp_path / "index.npz")
+
+
+class TestLoadErrors:
+    """Every malformed manifest is one ValueError naming the file and
+    the problem; only a missing file is FileNotFoundError."""
+
+    def write(self, tmp_path, payload) -> str:
+        path = tmp_path / CATALOG_NAME
+        path.write_text(payload if isinstance(payload, str)
+                        else json.dumps(payload))
+        return str(path)
+
+    def test_missing_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no catalog at"):
+            Catalog.load(tmp_path / "nowhere")
+
+    @pytest.mark.parametrize("payload, problem", [
+        ("{nope", "not valid JSON"),
+        ("[]", "must be a JSON object"),
+        ({"catalog_version": "x", "entries": []},
+         "'catalog_version' must be a positive integer"),
+        ({"catalog_version": CATALOG_VERSION + 1, "entries": []},
+         f"this build reads up to v{CATALOG_VERSION}"),
+        ({"catalog_version": 1}, "missing the required 'entries' list"),
+        ({"entries": ["x"]}, "entry 0 must be an object"),
+        ({"entries": [{"path": "p", "kind": "vector"}]},
+         "entry 0 needs a non-empty string 'name'"),
+        ({"entries": [{"name": "a", "kind": "vector"}]},
+         "entry 'a' needs a non-empty string 'path'"),
+        ({"entries": [{"name": "a", "path": "p", "kind": "nope"}]},
+         "entry 'a'"),
+        ({"entries": [{"name": "a", "path": "p", "kind": "vector",
+                       "model_id": 7}]},
+         "'model_id' must be a string or null"),
+        ({"entries": [{"name": "a", "path": "p", "kind": "vector",
+                       "default": "yes"}]},
+         "'default' must be a boolean"),
+        ({"entries": [{"name": "a", "path": "p", "kind": "vector"},
+                      {"name": "a", "path": "q", "kind": "vector"}]},
+         "already has an entry named 'a'"),
+        ({"entries": [{"name": "a", "path": "p", "kind": "vector",
+                       "default": True},
+                      {"name": "b", "path": "q", "kind": "vector",
+                       "default": True}]},
+         "only one entry may be the default"),
+    ])
+    def test_each_failure_is_one_clear_error(self, tmp_path, payload,
+                                             problem):
+        where = self.write(tmp_path, payload)
+        with pytest.raises(ValueError) as caught:
+            Catalog.load(tmp_path)
+        message = str(caught.value)
+        assert problem in message
+        assert where in message, "the error must name the manifest file"

@@ -1,0 +1,56 @@
+"""Smoke test for the catalog-serving benchmark harness.
+
+Runs ``benchmarks/bench_catalog.py`` at a miniature configuration —
+the harness asserts every served ranking (direct, routed, and under
+eviction churn) equals the offline ``query_many`` result, so passing
+here means the equivalences held against a real server.  The <5%
+routing-overhead budget is deliberately *not* asserted at smoke scale
+(single-core CI noise); the tracked ``results/BENCH_catalog.json``
+carries the full-scale measurement against its recorded budget.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def load_module(name: str):
+    spec = importlib.util.spec_from_file_location(name,
+                                                  BENCH_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_catalog_smoke(tmp_path):
+    bench = load_module("bench_catalog")
+    report = bench.run(n_vectors=200, dim=16, n_queries=24, k=5,
+                       n_clients=2, workdir=tmp_path)
+    assert report["benchmark"] == "catalog"
+    modes = [(r["op"], r["mode"]) for r in report["results"]]
+    assert modes == [("route-overhead", "direct"),
+                     ("route-overhead", "routed"),
+                     ("alternating", "max_open=1"),
+                     ("alternating", "max_open=2")]
+    for record in report["results"]:
+        assert record["seconds"] >= 0 and record["qps"] > 0
+    routed = next(r for r in report["results"] if r["mode"] == "routed")
+    assert routed["budget_pct"] == 5.0
+    assert isinstance(routed["overhead_pct"], float)
+    capped = next(r for r in report["results"]
+                  if r["mode"] == "max_open=1")
+    roomy = next(r for r in report["results"]
+                 if r["mode"] == "max_open=2")
+    # Cache behaviour, not speed: the cap-1 run must actually have
+    # churned, and with room for both entries nothing is evicted after
+    # the two boot opens.
+    assert capped["evictions"] >= 1
+    assert capped["opens"] >= 3
+    assert roomy["evictions"] == 0
+    assert roomy["opens"] == 2
+    # JSON-serializable, as the BENCH_*.json tracking requires.
+    (tmp_path / "BENCH_catalog.json").write_text(json.dumps(report))
+    text = bench.render(report).to_text()
+    assert "route-overhead" in text and "max_open=1" in text

@@ -28,7 +28,7 @@ from serveutil import (
     served_ranking,
 )
 
-from repro.index import open_index
+from repro.index import FORMAT_VERSION, open_index
 from repro.serve import ServerThread
 
 DIM = 24
@@ -195,6 +195,19 @@ class TestHealthAndStats:
         assert payload["dim"] == DIM
         assert payload["entries"] == 90
         assert payload["shards"] == 5
+        # Deployment identity: which checkpoint produced the vectors
+        # and which saved-format version the layout carries.
+        assert payload["model_id"] is None
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["indexes"] == 1
+
+    def test_healthz_reports_model_id(self, tmp_path):
+        keys, vectors = make_corpus(n=30, dim=DIM, seed=6)
+        index = open_index(save_layout(tmp_path, keys, vectors, 1))
+        index.model_id = "ckpt-abc123"
+        with ServerThread(index) as handle:
+            _status, data = http_request(handle.port, "GET", "/healthz")
+        assert json.loads(data)["model_id"] == "ckpt-abc123"
 
     def test_stats_counts_requests_and_queries(self, tmp_path, corpus,
                                                queries):
@@ -358,6 +371,8 @@ class TestServeCli:
         assert main(["serve", str(path), "--max-batch", "0"]) == 2
         assert main(["serve", str(path), "--max-wait-ms", "-1"]) == 2
         assert main(["serve", str(path), "--jobs", "0"]) == 2
+        assert main(["serve", str(path), "--max-open", "0"]) == 2
         assert main(["serve", str(tmp_path / "missing.npz")]) == 2
         err = capsys.readouterr().err
-        assert "--max-batch" in err and "no index file" in err
+        assert "--max-batch" in err and "--max-open" in err
+        assert "no index file" in err

@@ -127,6 +127,71 @@ class TestHypothesisCompositions:
                 f"request's ranking")
 
 
+class TestTwoIndexSoak:
+    @pytest.fixture(scope="class")
+    def routed_server(self, tmp_path_factory, corpus, queries):
+        """One catalog server over two entries built from *different*
+        slices of the tie-dense corpus (disjoint key prefixes), plus
+        per-entry offline expectations.  max_open=1 keeps open/evict
+        churn running underneath the whole soak."""
+        from repro.catalog import Catalog, CatalogEntry
+        from repro.index import VectorIndex, save_index
+
+        keys, vectors = corpus
+        root = tmp_path_factory.mktemp("routed")
+        catalog = Catalog(root=root)
+        half = len(keys) // 2
+        slices = {"alpha": ("a", slice(None, half)),
+                  "beta": ("b", slice(half, None))}
+        expected = {}
+        for name, (prefix, rows) in slices.items():
+            index = VectorIndex(dim=DIM, seed=5)
+            part = vectors[rows]
+            index.add_batch([f"{prefix}{i:05d}" for i in range(len(part))],
+                            part)
+            save_index(index, root / f"{name}.npz")
+            catalog.add(CatalogEntry(name=name, path=f"{name}.npz",
+                                     kind="vector"))
+            expected[name] = _expected(index, queries)
+        catalog.save()
+        with ServerThread(catalog, max_wait_ms=2.0, max_batch=8,
+                          max_open=1) as handle:
+            yield handle, expected, {name: prefix for name, (prefix, _rows)
+                                     in slices.items()}
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(specs=request_specs, n_workers=st.integers(2, 8),
+           names=st.lists(st.sampled_from(["alpha", "beta"]),
+                          min_size=1, max_size=16))
+    def test_routed_traffic_never_bleeds_across_indexes(
+            self, routed_server, queries, specs, n_workers, names):
+        """Concurrent clients hammer both entries of a max_open=1
+        catalog: every response must carry its own entry's keys (the
+        prefixes are disjoint, so one foreign key is proof of bleed)
+        and exactly its own entry's offline ranking."""
+        handle, expected, prefixes = routed_server
+        jobs = [(name, q, k) for (q, k), name
+                in zip(specs, itertools.cycle(names))]
+
+        def run_one(job):
+            name, q, k = job
+            status, payload = post_query(
+                handle.port, {"vector": queries[q].tolist(), "k": k,
+                              "index": name})
+            assert status == 200
+            return name, q, k, served_ranking(payload["hits"])
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            outcomes = list(pool.map(run_one, jobs))
+        for name, q, k, got in outcomes:
+            assert all(key.startswith(prefixes[name]) for key, _ in got), (
+                f"cross-index bleed: {name!r} returned foreign keys")
+            assert got == expected[name][(q, k)], (
+                f"routed query {q} (k={k}) on {name!r} diverged from "
+                f"that entry's offline ranking")
+
+
 class TestThreadSweep:
     @pytest.mark.parametrize("n_shards", [1, 2, 5])
     @pytest.mark.parametrize("n_clients", [1, 4, 8])
