@@ -20,6 +20,15 @@ the mmap rows are why ``repro.cli serve`` maps by default.
 Run directly (``PYTHONPATH=src python benchmarks/bench_serve.py``) or
 via the smoke test in ``tests/serve/test_serve_bench_smoke.py``.
 
+``--zipfian`` runs the *result-cache* workload instead (→
+``results/BENCH_cache.json``): a zipfian (s≈1.1) request stream over a
+small query pool — production traffic's shape — served with the cache
+on vs off, plus a uniform stream (the cache's worst case) and a
+near-duplicate jitter stream (every request a fresh vector that hashes
+to a cached band-key tuple, so the semantic tier carries the load).
+Every stream's served rankings are asserted identical to offline
+``query_many`` *before* any timing is recorded.
+
 NB: on a single-core box the micro-batch win comes from shaving
 per-request Python/GEMM dispatch overhead, not from parallelism; both
 effects grow with real traffic and real hardware.
@@ -162,6 +171,124 @@ def run(n_vectors: int = 20000, dim: int = 64, n_queries: int = 240,
     }
 
 
+def _zipfian_stream(rng: np.random.Generator, pool_size: int, length: int,
+                    s: float) -> np.ndarray:
+    """``length`` pool indices drawn zipfian: P(rank r) ∝ 1/r^s."""
+    weights = 1.0 / np.arange(1, pool_size + 1) ** s
+    return rng.choice(pool_size, size=length, p=weights / weights.sum())
+
+
+def _cache_stats(port: int) -> dict:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", "/stats")
+        payload = json.loads(conn.getresponse().read())
+    finally:
+        conn.close()
+    return payload["indexes"]["default"]["cache"]
+
+
+def run_cache(n_vectors: int = 20000, dim: int = 64, pool_size: int = 240,
+              n_requests: int = 1200, k: int = 10, n_clients: int = 8,
+              zipf_s: float = 1.1, cache_entries: int = 64,
+              shard_counts: tuple[int, ...] = SHARD_COUNTS,
+              seed: int = 0, workdir: str | Path | None = None) -> dict:
+    """The result-cache workload: zipfian vs uniform vs near-duplicate
+    request streams, cache on vs off, equivalence asserted before any
+    timing (``_hammer`` refuses to return timings for a wrong server).
+
+    The cache is deliberately smaller than the query pool
+    (``cache_entries`` < ``pool_size``) so the distribution matters: a
+    zipfian stream keeps its hot head resident while a uniform stream
+    churns the LRU.
+    """
+    import tempfile
+
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n_vectors, dim))
+    pool = rng.standard_normal((pool_size, dim))
+    keys = [f"k{i:06d}" for i in range(n_vectors)]
+    records = []
+
+    streams = {
+        f"zipfian(s={zipf_s:g})": pool[_zipfian_stream(rng, pool_size,
+                                                       n_requests, zipf_s)],
+        "uniform": pool[rng.integers(0, pool_size, size=n_requests)],
+        # Near-duplicates: every request is a *fresh* vector (exact tier
+        # can never hit) one ulp-ish away from a pool query, so it
+        # hashes to the same band keys and rides the semantic tier.
+        "near-dupe": (pool[_zipfian_stream(rng, pool_size, n_requests,
+                                           zipf_s)]
+                      + rng.normal(scale=1e-9, size=(n_requests, dim))),
+    }
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(workdir) if workdir is not None else Path(scratch)
+        for n_shards in shard_counts:
+            layout = "single" if n_shards == 1 else f"shards={n_shards}"
+            path = _save_layout(root, keys, vectors, n_shards, seed)
+            offline = open_index(path)
+            served_index = open_index(path, mmap=True)
+            for workload, stream in streams.items():
+                want = [[(hit.key, hit.score) for hit in hits]
+                        for hits in offline.query_many(stream, k=k)]
+                for mode, cache_size in (("no-cache", 0),
+                                         ("cached", cache_entries)):
+                    with ServerThread(served_index, max_batch=64,
+                                      max_wait_ms=1.0,
+                                      cache_size=cache_size) as handle:
+                        seconds = _hammer(handle.port, stream, k, n_clients,
+                                          want)
+                        cache = (_cache_stats(handle.port)
+                                 if cache_size else None)
+                    record = {
+                        "op": "serve", "layout": layout,
+                        "workload": workload, "mode": mode,
+                        "n": n_requests, "seconds": seconds,
+                        "qps": n_requests / seconds if seconds else None,
+                    }
+                    if cache is not None:
+                        served = (cache["exact_hits"]
+                                  + cache["semantic_hits"]
+                                  + cache["misses"])
+                        record["exact_hit_rate"] = (cache["exact_hits"]
+                                                    / served)
+                        record["semantic_hit_rate"] = (
+                            cache["semantic_hits"] / served)
+                        record["hit_rate"] = cache["hit_rate"]
+                    records.append(record)
+
+    return {
+        "benchmark": "serve-cache",
+        "config": {"n_vectors": n_vectors, "dim": dim,
+                   "pool_size": pool_size, "n_requests": n_requests,
+                   "k": k, "n_clients": n_clients, "zipf_s": zipf_s,
+                   "cache_entries": cache_entries,
+                   "shard_counts": list(shard_counts), "seed": seed},
+        "results": records,
+    }
+
+
+def render_cache(report: dict) -> ResultsTable:
+    config = report["config"]
+    out = ResultsTable(
+        f"Result cache: {config['n_vectors']} vectors (dim "
+        f"{config['dim']}), {config['n_requests']} requests over a "
+        f"{config['pool_size']}-query pool @ k={config['k']}, "
+        f"{config['n_clients']} clients, {config['cache_entries']}-entry "
+        "cache",
+        columns=["seconds", "qps", "exact hits", "semantic hits"])
+    for rec in report["results"]:
+        row = f"{rec['layout']} {rec['workload']} {rec['mode']}"
+        out.add(row, "seconds", f"{rec['seconds']:.3f}")
+        out.add(row, "qps", f"{rec['qps']:.1f}" if rec["qps"] else "-")
+        if "exact_hit_rate" in rec:
+            out.add(row, "exact hits", f"{rec['exact_hit_rate']:.1%}")
+            out.add(row, "semantic hits",
+                    f"{rec['semantic_hit_rate']:.1%}")
+    return out
+
+
 def render(report: dict) -> ResultsTable:
     config = report["config"]
     out = ResultsTable(
@@ -180,10 +307,23 @@ def render(report: dict) -> ResultsTable:
     return out
 
 
-def main() -> int:
-    report = run()
-    render(report).show()
-    path = results_dir() / "BENCH_serve.json"
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--zipfian", action="store_true",
+                        help="run the result-cache workload (zipfian/"
+                             "uniform/near-dupe streams, cache on vs off) "
+                             "instead of the dispatch benchmark")
+    args = parser.parse_args(argv)
+    if args.zipfian:
+        report = run_cache()
+        render_cache(report).show()
+        path = results_dir() / "BENCH_cache.json"
+    else:
+        report = run()
+        render(report).show()
+        path = results_dir() / "BENCH_serve.json"
     path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"Wrote {path}")
     return 0

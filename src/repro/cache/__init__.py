@@ -1,0 +1,22 @@
+"""Server-side result cache: exact + semantic tiers, generation-scoped.
+
+See :mod:`repro.cache.engine` for the design contract; the one-line
+version is that cached answers are *bit-identical* to the uncached
+path — tier 1 replays stored rankings under a fingerprint that covers
+every answer-changing request parameter, tier 2 reuses candidate
+shortlists but rescores them through the uncached kernels.
+"""
+
+from .engine import CacheCounters, CachedQueryEngine, QueryPlan
+from .result_cache import (DEFAULT_CACHE_SIZE, TTLCache, exact_key,
+                           validate_cache_params)
+
+__all__ = [
+    "CacheCounters",
+    "CachedQueryEngine",
+    "QueryPlan",
+    "DEFAULT_CACHE_SIZE",
+    "TTLCache",
+    "exact_key",
+    "validate_cache_params",
+]

@@ -1,0 +1,116 @@
+"""Bounded TTL-LRU maps and query fingerprinting for the result cache.
+
+:class:`TTLCache` is the storage primitive behind both cache tiers: a
+plain ``OrderedDict`` in LRU order with an optional per-entry time-to-
+live.  It is deliberately not thread-safe — the serving layer touches
+cache structures only from the event-loop thread (the same single-
+writer discipline :class:`~repro.catalog.handles.CatalogHandle` relies
+on), and the offline driver in :mod:`repro.cache.engine` is
+synchronous.
+
+:func:`exact_key` is the tier-1 fingerprint: a blake2b digest over the
+query vector *bytes* plus every request parameter that changes the
+answer — ``k``, the index kind, the per-query ``exclude`` and the index
+generation.  Two requests that differ in any of those must never share
+a cache entry (regression-tested in ``tests/cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+#: Default per-tier entry bound used by the server and CLI.
+DEFAULT_CACHE_SIZE = 1024
+
+
+def validate_cache_params(size: int, ttl: float | None) -> None:
+    """Raise ``ValueError`` unless ``size``/``ttl`` are usable cache
+    bounds: ``size`` a nonnegative int (0 disables the cache), ``ttl``
+    ``None`` (no expiry) or a positive number of seconds."""
+    if not isinstance(size, int) or isinstance(size, bool) or size < 0:
+        raise ValueError(f"cache size must be a nonnegative int, got {size!r}")
+    if ttl is not None and not (isinstance(ttl, (int, float))
+                                and not isinstance(ttl, bool) and ttl > 0):
+        raise ValueError(f"cache ttl must be None or a positive number "
+                         f"of seconds, got {ttl!r}")
+
+
+def exact_key(vector: np.ndarray, k: int, kind: str,
+              exclude: str | None, generation: int) -> bytes:
+    """Tier-1 fingerprint of one query: blake2b over the query vector's
+    float64 bytes and every request parameter that can change the
+    served ranking.  ``exclude=None`` and ``exclude=""`` hash
+    differently (tagged, not concatenated)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.ascontiguousarray(vector, dtype=float).tobytes())
+    digest.update(f"|k={k}|kind={kind}|gen={generation}|".encode())
+    if exclude is None:
+        digest.update(b"\x00")
+    else:
+        digest.update(b"\x01" + exclude.encode("utf-8"))
+    return digest.digest()
+
+
+class TTLCache:
+    """A bounded mapping with LRU eviction and optional TTL expiry.
+
+    ``get`` refreshes recency; ``put`` inserts (or overwrites) and
+    evicts the least-recently-used entries beyond ``max_entries``.
+    Entries older than ``ttl`` seconds are dropped lazily on ``get``.
+    ``clock`` is injectable so tests can step time deterministically.
+    """
+
+    def __init__(self, max_entries: int, ttl: float | None = None,
+                 clock=time.monotonic):
+        validate_cache_params(max_entries, ttl)
+        if max_entries < 1:
+            raise ValueError(f"TTLCache needs max_entries >= 1, got "
+                             f"{max_entries} (size 0 means: no cache at all)")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock
+        self._data: OrderedDict = OrderedDict()
+        self.expirations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+    def get(self, key):
+        """The cached value, or ``None`` on miss/expiry.  A hit moves
+        the entry to most-recently-used."""
+        entry = self._data.get(key)
+        if entry is None:
+            return None
+        expires_at, value = entry
+        if expires_at is not None and self._clock() >= expires_at:
+            del self._data[key]
+            self.expirations += 1
+            return None
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert ``value`` (which must not be ``None`` — that is the
+        miss sentinel) as most-recently-used, evicting LRU overflow."""
+        if value is None:
+            raise ValueError("TTLCache cannot store None (the miss sentinel)")
+        expires_at = None if self.ttl is None else self._clock() + self.ttl
+        self._data[key] = (expires_at, value)
+        self._data.move_to_end(key)
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        dropped = len(self._data)
+        self._data.clear()
+        return dropped

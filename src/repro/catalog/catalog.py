@@ -66,11 +66,18 @@ class CatalogEntry:
     kind: str
     model_id: str | None = None
     default: bool = False
+    #: Manifest-level generation stamp: bumped every time the entry is
+    #: replaced in place (``catalog add --replace``), so anything that
+    #: cached results against the old layout — a warm client, a CDN, a
+    #: downstream service — can detect the swap without opening the
+    #: index.  Additive field, absent in older manifests (read as 0).
+    generation: int = 0
 
     def to_params(self) -> dict:
         """The JSON shape stored in ``catalog.json``."""
         return {"name": self.name, "path": self.path, "kind": self.kind,
-                "model_id": self.model_id, "default": self.default}
+                "model_id": self.model_id, "default": self.default,
+                "generation": self.generation}
 
     @classmethod
     def from_params(cls, params: object, where: str | Path,
@@ -105,8 +112,13 @@ class CatalogEntry:
         if not isinstance(default, bool):
             raise _bad(where, f"entry {name!r}: 'default' must be a "
                               f"boolean")
+        generation = params.get("generation", 0)
+        if (not isinstance(generation, int) or isinstance(generation, bool)
+                or generation < 0):
+            raise _bad(where, f"entry {name!r}: 'generation' must be a "
+                              f"nonnegative integer")
         return cls(name=name, path=path, kind=kind, model_id=model_id,
-                   default=default)
+                   default=default, generation=generation)
 
 
 class Catalog:
@@ -141,6 +153,23 @@ class Catalog:
                              f"({current!r}); only one entry may be the "
                              f"default")
         self.entries[entry.name] = entry
+
+    def replace(self, entry: CatalogEntry) -> int:
+        """Swap an existing entry for ``entry`` (same name), stamping
+        the replacement's generation one past the old entry's — the
+        manifest-level lifecycle bump.  Default status carries over
+        unless the replacement claims it.  Returns the new generation."""
+        old = self.entries.get(entry.name)
+        if old is None:
+            raise KeyError(entry.name)
+        entry.generation = old.generation + 1
+        entry.default = entry.default or old.default
+        self.entries[entry.name] = entry
+        if entry.default:
+            # Claiming the default demotes the previous holder (one
+            # default only — the same invariant `add` enforces).
+            self.set_default(entry.name)
+        return entry.generation
 
     def set_default(self, name: str) -> str | None:
         """Make ``name`` the explicit default; returns the previous

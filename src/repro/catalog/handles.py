@@ -28,14 +28,25 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.cache import (DEFAULT_CACHE_SIZE, CacheCounters,
+                         validate_cache_params)
+
 from .catalog import Catalog, CatalogEntry
 
 
 class IndexStats:
-    """Lifetime per-entry counters; survives eviction/reopen cycles."""
+    """Lifetime per-entry counters; survives eviction/reopen cycles.
+
+    ``cache`` is the entry's :class:`~repro.cache.engine.CacheCounters`:
+    it lives *here* rather than on the cache engine so hit/miss/bypass
+    tallies survive eviction (the engine itself is dropped with the
+    index — each reopen gets a cold cache but warm counters).  The
+    invariant the soak tests pin: ``exact_hits + semantic_hits + misses
+    + bypassed == queries_total``."""
 
     __slots__ = ("requests_total", "queries_total", "opens", "evictions",
-                 "batches_dispatched", "max_batch_size", "_batch_size_sum")
+                 "batches_dispatched", "max_batch_size", "_batch_size_sum",
+                 "cache")
 
     def __init__(self):
         self.requests_total = 0
@@ -45,6 +56,7 @@ class IndexStats:
         self.batches_dispatched = 0
         self.max_batch_size = 0
         self._batch_size_sum = 0
+        self.cache = CacheCounters()
 
     def record_queries(self, n: int) -> None:
         """One routed request carrying ``n`` queries."""
@@ -70,6 +82,7 @@ class IndexStats:
                               if self.batches_dispatched else None),
                 "max_size": self.max_batch_size or None,
             },
+            "cache": self.cache.snapshot(),
         }
 
 
@@ -89,17 +102,21 @@ class _BatchStatsFanout:
 
 
 class IndexSlot:
-    """One catalog entry's runtime state: open index + dispatcher when
-    resident, ``None`` when closed; stats always."""
+    """One catalog entry's runtime state: open index + dispatcher +
+    result-cache engine when resident, ``None`` when closed; stats
+    always.  Cache, dispatcher and index share one lifetime — eviction
+    drops all three together, so a stale cache can never outlive (or
+    precede) the index object its entries were computed against."""
 
-    __slots__ = ("entry", "stats", "index", "dispatcher", "last_used",
-                 "pinned")
+    __slots__ = ("entry", "stats", "index", "dispatcher", "cache",
+                 "last_used", "pinned")
 
     def __init__(self, entry: CatalogEntry, pinned: bool = False):
         self.entry = entry
         self.stats = IndexStats()
         self.index = None
         self.dispatcher = None
+        self.cache = None
         self.last_used = 0
         self.pinned = pinned
 
@@ -151,7 +168,16 @@ class CatalogHandle:
             entry.name: IndexSlot(entry) for entry in catalog}
         self._clock = 0
         self._dispatch_kwargs: dict = {}
+        self._cache_kwargs: dict = {"max_entries": DEFAULT_CACHE_SIZE,
+                                    "ttl": None}
         self._batch_sink = None
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether slots get a result cache when opened.  Distinct from
+        a *closed* slot's ``cache is None`` — counters of an evicted
+        slot are still meaningful when this is True."""
+        return self._cache_kwargs["max_entries"] >= 1
 
     @classmethod
     def for_index(cls, index, name: str = "default") -> "CatalogHandle":
@@ -175,19 +201,39 @@ class CatalogHandle:
     # ------------------------------------------------------------------
     def configure_dispatch(self, *, stats=None, max_batch: int = 32,
                            max_wait_ms: float = 2.0,
-                           jobs: int | None = None) -> None:
-        """Set the knobs every per-slot dispatcher is created with,
-        plus an optional server-wide batch-stats sink.  Validates
-        eagerly (the same checks ``MicroBatchDispatcher`` makes) so a
-        bad configuration fails at server construction, not at the
-        first query."""
+                           jobs: int | None = None,
+                           cache_size: int = DEFAULT_CACHE_SIZE,
+                           cache_ttl: float | None = None) -> None:
+        """Set the knobs every per-slot dispatcher (and result-cache
+        engine) is created with, plus an optional server-wide
+        batch-stats sink.  ``cache_size`` is the per-tier entry bound
+        for each index's cache — 0 disables caching entirely;
+        ``cache_ttl`` expires entries after that many seconds.
+        Validates eagerly (the same checks ``MicroBatchDispatcher`` and
+        ``TTLCache`` make) so a bad configuration fails at server
+        construction, not at the first query."""
         from repro.serve.dispatcher import validate_dispatch_params
 
         validate_dispatch_params(max_batch=max_batch,
                                  max_wait_ms=max_wait_ms, jobs=jobs)
+        validate_cache_params(cache_size, cache_ttl)
         self._dispatch_kwargs = {"max_batch": max_batch,
                                  "max_wait_ms": max_wait_ms, "jobs": jobs}
+        self._cache_kwargs = {"max_entries": cache_size, "ttl": cache_ttl}
         self._batch_sink = stats
+
+    def _make_engine(self, slot: IndexSlot):
+        """A fresh cache engine for a just-opened slot (``None`` when
+        caching is disabled).  Counters come from the slot's stats so
+        they accumulate across eviction/reopen cycles; the cache
+        *contents* start cold on every open — an engine never outlives
+        the index object it fingerprinted."""
+        from repro.cache import CachedQueryEngine
+
+        if self._cache_kwargs["max_entries"] < 1:
+            return None
+        return CachedQueryEngine(slot.index, counters=slot.stats.cache,
+                                 **self._cache_kwargs)
 
     def _make_dispatcher(self, slot: IndexSlot):
         # Runtime import: repro.serve sits *above* repro.catalog in the
@@ -199,6 +245,7 @@ class CatalogHandle:
         return MicroBatchDispatcher(
             slot.index,
             stats=_BatchStatsFanout(slot.stats, self._batch_sink),
+            engine=slot.cache,
             **self._dispatch_kwargs)
 
     # ------------------------------------------------------------------
@@ -232,6 +279,7 @@ class CatalogHandle:
         if not slot.open:
             self._open(slot)
         if slot.dispatcher is None:
+            slot.cache = self._make_engine(slot)
             slot.dispatcher = self._make_dispatcher(slot)
         self._clock += 1
         slot.last_used = self._clock
@@ -276,8 +324,12 @@ class CatalogHandle:
             self._evict(min(candidates, key=lambda slot: slot.last_used))
 
     def _evict(self, slot: IndexSlot) -> None:
+        # Index, dispatcher and cache go together: a cache keyed
+        # against this open's id space must not survive into the next
+        # open (counters live on slot.stats and do survive).
         slot.index = None
         slot.dispatcher = None
+        slot.cache = None
         slot.stats.evictions += 1
 
     def evict(self, name: str) -> bool:

@@ -594,16 +594,25 @@ def cmd_catalog_add(args: argparse.Namespace) -> int:
         return 2
     entry.kind = spec.kind
     entry.model_id = spec.model_id
-    try:
-        catalog.add(entry)
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        return 2
+    if args.replace and args.name in catalog:
+        generation = catalog.replace(entry)
+        verb = f"Replaced (generation {generation})"
+    else:
+        try:
+            catalog.add(entry)
+        except ValueError as error:
+            if args.name in catalog:
+                print(f"{error} (use --replace to swap it in place and "
+                      f"bump its generation)", file=sys.stderr)
+            else:
+                print(str(error), file=sys.stderr)
+            return 2
+        verb = "Added"
     if args.default:
         catalog.set_default(args.name)
     catalog.save()
     marker = " (default)" if catalog.default_name == args.name else ""
-    print(f"Added {args.name!r} -> {args.path} "
+    print(f"{verb} {args.name!r} -> {args.path} "
           f"({spec.describe()} format=v{format_version}) "
           f"[{len(catalog)} entries]{marker}")
     return 0
@@ -671,6 +680,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.max_open is not None and args.max_open < 1:
         print("--max-open must be at least 1", file=sys.stderr)
         return 2
+    if args.cache_size < 0:
+        print("--cache-size must be >= 0 (0 disables the cache)",
+              file=sys.stderr)
+        return 2
+    if args.cache_ttl is not None and args.cache_ttl <= 0:
+        print("--cache-ttl must be a positive number of seconds",
+              file=sys.stderr)
+        return 2
+    cache_size = 0 if args.no_cache else args.cache_size
     catalog = None
     if Catalog.handles(args.path):
         try:
@@ -696,6 +714,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                  max_wait_ms=args.max_wait_ms,
                                  jobs=args.jobs, mmap=not args.no_mmap,
                                  max_open=args.max_open,
+                                 cache_size=cache_size,
+                                 cache_ttl=args.cache_ttl,
                                  log_path=args.log_file)
         try:
             await server.start()
@@ -884,6 +904,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cadd.add_argument("--default", action="store_true",
                         help="make this entry the default route (requests "
                              "without an \"index\" field)")
+    p_cadd.add_argument("--replace", action="store_true",
+                        help="allow swapping an existing entry in place, "
+                             "bumping its manifest generation so cached "
+                             "results against the old layout are detectably "
+                             "stale")
     p_cadd.set_defaults(func=cmd_catalog_add)
 
     p_clist = catalog_sub.add_parser("list", help="show every entry with "
@@ -917,6 +942,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-mmap", action="store_true",
                          help="read vector matrices eagerly instead of "
                               "memory-mapping them")
+    p_serve.add_argument("--cache-size", type=int, default=1024,
+                         help="per-index result-cache bound: max entries "
+                              "per tier (default 1024; 0 disables caching)")
+    p_serve.add_argument("--cache-ttl", type=float, default=None,
+                         help="expire cache entries after this many "
+                              "seconds (default: no expiry)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve every query uncached (same as "
+                              "--cache-size 0)")
     p_serve.add_argument("--log-file", default=None,
                          help="append an access/drain log to this file "
                               "(default: $REPRO_SERVE_LOG if set)")

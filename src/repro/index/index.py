@@ -174,6 +174,15 @@ class VectorIndex:
         #: Surfaced by the server's ``/healthz`` so a deployment can
         #: verify which format generation is live.
         self.format_version: int = FORMAT_VERSION
+        #: Monotonic mutation counter.  Every operation that can change
+        #: what a query returns — ``add``/``add_batch`` (new entries),
+        #: ``remove``, ``compact`` (slot ids shuffle), ``merge`` (via
+        #: ``add_batch``) — bumps it, so any result or candidate
+        #: shortlist cached against an older generation is structurally
+        #: unreachable (the cache folds the generation into its keys
+        #: and clears on change).  Deliberately *not* persisted: a
+        #: fresh load is a fresh cache scope.
+        self.generation: int = 0
 
     # ------------------------------------------------------------------
     # Population
@@ -188,6 +197,7 @@ class VectorIndex:
         self.keys.append(key)
         self.meta.append(meta or {})
         self._id_of[key] = idx
+        self.generation += 1
         return idx
 
     def add_batch(self, keys: list[str], vectors: np.ndarray,
@@ -209,6 +219,7 @@ class VectorIndex:
                 self.keys.append(keys[i])
                 self.meta.append(metas[i])
                 self._id_of[keys[i]] = idx
+            self.generation += 1
         return [self._id_of[key] for key in keys]
 
     def __len__(self) -> int:
@@ -232,6 +243,7 @@ class VectorIndex:
         if idx is None:
             raise KeyError(f"no live entry for key {key!r}")
         self.lsh.remove(idx)
+        self.generation += 1
 
     @property
     def n_tombstones(self) -> int:
@@ -250,6 +262,9 @@ class VectorIndex:
         dropped = self.n_tombstones
         if not dropped:
             return 0
+        # Dense ids shuffle below, so any cached candidate shortlist
+        # (id-addressed) is wrong from here on: bump before rebuilding.
+        self.generation += 1
         live = self.live_items()
         self.lsh = CosineLSH(self.dim, n_planes=self.n_planes,
                              n_bands=self.n_bands, seed=self.seed)
@@ -354,6 +369,82 @@ class VectorIndex:
             exclude_list = (None if excludes is None
                             else [excludes[q] for q in short])
             brute = self.query_brute_many(vectors[short], k,
+                                          excludes=exclude_list)
+            for q, hits in zip(short, brute):
+                results[q] = hits
+        return results
+
+    # ------------------------------------------------------------------
+    # Shortlist path (result cache's semantic tier)
+    # ------------------------------------------------------------------
+    def band_key_tuples(self, vectors: np.ndarray) -> list[tuple[int, ...]]:
+        """One hashable packed-band-key tuple per query row — the
+        semantic cache key: queries with equal tuples probe identical
+        buckets and therefore share their candidate shortlist exactly
+        (see :meth:`~repro.retrieval.lsh.CosineLSH.key_tuples`)."""
+        return self.lsh.key_tuples(np.asarray(vectors, float))
+
+    def collect_shortlists(self, vectors: np.ndarray
+                           ) -> tuple[list[tuple[int, ...]],
+                                      list[tuple[np.ndarray, ...]]]:
+        """``(band key tuples, candidate shortlists)`` for every query
+        row.  A shortlist is a tuple of per-shard sorted id arrays — one
+        element for a single-file index, ``n_shards`` for a sharded one
+        — holding the exact LSH candidates the uncached query path would
+        probe (tombstones already dropped, excludes *not* applied: they
+        are per-request and applied at rescore time).  Hash once, probe
+        once: the keys returned are the ones the probe used."""
+        matrix = np.asarray(vectors, float)
+        keys = self.lsh.key_tuples(matrix)
+        cands = self.lsh.candidates_for_keys(keys)
+        return keys, [(np.fromiter(sorted(ids), dtype=np.int64,
+                                   count=len(ids)),)
+                      for ids in cands]
+
+    def query_with_shortlists(self, vectors: np.ndarray, k: int,
+                              shortlists: list[tuple[np.ndarray, ...]],
+                              excludes: list[str | None] | None = None,
+                              jobs: int | None = None
+                              ) -> list[list[SearchHit]]:
+        """:meth:`query_many` with the LSH hash-and-probe step replaced
+        by caller-supplied candidate shortlists (the result cache's
+        semantic-tier reuse path).  Everything downstream is the
+        uncached machinery on the same inputs — excludes discarded the
+        same way, the same einsum ranking kernel, ties re-broken by key,
+        and the brute-force fallback decided on the post-exclude
+        candidate count exactly as :meth:`query_many` decides it — so
+        for shortlists produced by :meth:`collect_shortlists` at the
+        same generation, results are identical to the uncached call
+        (property-tested in ``tests/cache/``)."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        _check_jobs(jobs)
+        matrix = np.asarray(vectors, float)
+        if len(shortlists) != len(matrix):
+            raise ValueError(f"shortlists must align with the "
+                             f"{len(matrix)} queries, got {len(shortlists)}")
+        exclude_ids = self._exclude_ids(excludes, len(matrix))
+        removed = self.lsh.removed
+        cand_sets: list[set[int]] = []
+        for shortlist, exclude_id in zip(shortlists, exclude_ids):
+            if len(shortlist) != 1:
+                raise ValueError(f"a single-file index takes 1-element "
+                                 f"shortlists, got {len(shortlist)}")
+            cands = {int(i) for i in shortlist[0]}
+            # Unconditional, like CosineLSH.candidates(): a removed id
+            # must never surface even if a stale shortlist slips past
+            # the generation guard.
+            cands.difference_update(removed)
+            if exclude_id is not None:
+                cands.discard(exclude_id)
+            cand_sets.append(cands)
+        rankings = self.lsh._rank_many(cand_sets, matrix, None)
+        results = [self._hits(ranked, k) for ranked in rankings]
+        short = [q for q in range(len(matrix)) if len(cand_sets[q]) < k]
+        if short:
+            exclude_list = (None if excludes is None
+                            else [excludes[q] for q in short])
+            brute = self.query_brute_many(matrix[short], k,
                                           excludes=exclude_list)
             for q, hits in zip(short, brute):
                 results[q] = hits

@@ -95,6 +95,10 @@ class ShardedIndex:
                     f"(planes, bands, seed)={mine}, spec says {want}")
         self.spec = spec
         self.shards = list(shards)
+        # Generation offset for mutations the shard counters cannot
+        # express monotonically (rebalance rebuilds the shards from
+        # scratch, resetting their counters) — see :attr:`generation`.
+        self._generation = 0
 
     @classmethod
     def create(cls, spec: IndexSpec, n_shards: int) -> "ShardedIndex":
@@ -145,6 +149,18 @@ class ShardedIndex:
     def shard_sizes(self) -> list[int]:
         """Live entries per shard (skew diagnostic)."""
         return [len(shard) for shard in self.shards]
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter over the whole layout: the sum of
+        the shard counters (every ``add``/``remove``/``compact``/
+        ``merge`` dispatches to a shard, whose own generation bumps)
+        plus an offset :meth:`rebalance` raises past the pre-rebalance
+        total, so the value never repeats even though rebalancing
+        replaces the shards with fresh ones.  The result cache folds
+        this into its keys and drops everything when it changes."""
+        return self._generation + sum(shard.generation
+                                      for shard in self.shards)
 
     # ------------------------------------------------------------------
     # Population
@@ -267,6 +283,10 @@ class ShardedIndex:
                 shard.add_batch([key for key, _vec, _meta in items],
                                 np.stack([vec for _key, vec, _meta in items]),
                                 [meta for _key, _vec, meta in items])
+        # The fresh shards' counters restart near zero; raise the offset
+        # past the old total so the layout generation stays monotonic
+        # (a cache key must never be re-minted by a later state).
+        self._generation = self.generation + 1
         self.shards = fresh
         return moved
 
@@ -281,12 +301,18 @@ class ShardedIndex:
         is untouched; only the executor changes).  A shard failure
         propagates out of the pool's context manager — no half-merged
         results, no leaked threads."""
+        return self._map(fn, self.shards, jobs)
+
+    def _map(self, fn, items: list, jobs: int | None) -> list:
+        """The executor half of :meth:`_map_shards`, over arbitrary
+        per-shard work items (the shortlist path maps over
+        ``enumerate(self.shards)`` because each shard reads its own
+        column of the shortlists)."""
         _check_jobs(jobs)
-        if jobs is None or jobs == 1 or len(self.shards) == 1:
-            return [fn(shard) for shard in self.shards]
-        with ThreadPoolExecutor(max_workers=min(jobs,
-                                                len(self.shards))) as pool:
-            return list(pool.map(fn, self.shards))
+        if jobs is None or jobs == 1 or len(items) == 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
 
     def _merge_partials(self, rankings: list[list[SearchHit]],
                         k: int) -> list[SearchHit]:
@@ -375,6 +401,99 @@ class ShardedIndex:
                             for brute in brute_per_shard]
             else:
                 rankings = [partials[q][1] for partials in per_shard]
+            results.append(self._merge_partials(rankings, k))
+        return results
+
+    # ------------------------------------------------------------------
+    # Shortlist path (result cache's semantic tier)
+    # ------------------------------------------------------------------
+    def band_key_tuples(self, vectors: np.ndarray) -> list[tuple[int, ...]]:
+        """One packed-band-key tuple per query row.  Every shard shares
+        the spec's LSH geometry (enforced by the constructor), so the
+        first shard's hyperplanes speak for the whole layout — the tuple
+        is the query's semantic identity across all shards at once."""
+        return self.shards[0].lsh.key_tuples(np.asarray(vectors, float))
+
+    def collect_shortlists(self, vectors: np.ndarray
+                           ) -> tuple[list[tuple[int, ...]],
+                                      list[tuple[np.ndarray, ...]]]:
+        """``(band key tuples, candidate shortlists)``: hash the query
+        matrix once, probe every shard's buckets with the shared keys.
+        A shortlist is an ``n_shards``-tuple of sorted shard-local id
+        arrays — exactly the candidates the uncached fan-out would rank
+        (tombstones dropped, excludes left for rescore time)."""
+        matrix = np.asarray(vectors, float)
+        keys = self.band_key_tuples(matrix)
+        per_shard = [shard.lsh.candidates_for_keys(keys)
+                     for shard in self.shards]
+        shortlists = [tuple(np.fromiter(sorted(cands[q]), dtype=np.int64,
+                                        count=len(cands[q]))
+                            for cands in per_shard)
+                      for q in range(len(matrix))]
+        return keys, shortlists
+
+    def query_with_shortlists(self, vectors: np.ndarray, k: int,
+                              shortlists: list[tuple[np.ndarray, ...]],
+                              excludes: list[str | None] | None = None,
+                              jobs: int | None = None
+                              ) -> list[list[SearchHit]]:
+        """:meth:`query_many` with the per-shard hash-and-probe replaced
+        by caller-supplied shortlists (the result cache's semantic-tier
+        reuse path).  Each shard ranks its shortlist column through the
+        same kernels the uncached fan-out uses, the brute-force fallback
+        is decided per query on the *global* post-exclude candidate
+        total, and the per-shard rankings heap-merge identically — so
+        for shortlists from :meth:`collect_shortlists` at the same
+        generation the results match the uncached call exactly
+        (property-tested in ``tests/cache/``)."""
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        matrix = np.asarray(vectors, float)
+        if len(shortlists) != len(matrix):
+            raise ValueError(f"shortlists must align with the "
+                             f"{len(matrix)} queries, got {len(shortlists)}")
+        for q, shortlist in enumerate(shortlists):
+            if len(shortlist) != len(self.shards):
+                raise ValueError(
+                    f"shortlist {q} has {len(shortlist)} shard columns, "
+                    f"layout has {len(self.shards)} shards — it was "
+                    f"collected from a different layout")
+
+        def shard_partials(item):
+            position, shard = item
+            exclude_ids = shard._exclude_ids(excludes, len(matrix))
+            removed = shard.lsh.removed
+            cand_sets: list[set[int]] = []
+            for q in range(len(matrix)):
+                cands = {int(i) for i in shortlists[q][position]}
+                cands.difference_update(removed)
+                if exclude_ids[q] is not None:
+                    cands.discard(exclude_ids[q])
+                cand_sets.append(cands)
+            rankings = shard.lsh._rank_many(cand_sets, matrix, None)
+            return ([len(cands) for cands in cand_sets],
+                    [shard._hits(ranked, k) for ranked in rankings])
+
+        per_shard = self._map(shard_partials, list(enumerate(self.shards)),
+                              jobs)
+        # Global fallback decision, per query — query_many's rule.
+        short = [q for q in range(len(matrix))
+                 if sum(counts[q] for counts, _hits in per_shard) < k]
+        brute_by_query = {q: pos for pos, q in enumerate(short)}
+        if short:
+            brute_excludes = (None if excludes is None
+                              else [excludes[q] for q in short])
+            brute_per_shard = self._map_shards(
+                lambda shard: shard.query_brute_many(matrix[short], k,
+                                                     excludes=brute_excludes),
+                jobs)
+        results: list[list[SearchHit]] = []
+        for q in range(len(matrix)):
+            if q in brute_by_query:
+                rankings = [brute[brute_by_query[q]]
+                            for brute in brute_per_shard]
+            else:
+                rankings = [hits[q] for _counts, hits in per_shard]
             results.append(self._merge_partials(rankings, k))
         return results
 

@@ -206,12 +206,36 @@ class CosineLSH:
         """Per-query candidate sets for a whole ``(Q, dim)`` matrix —
         the band keys come from one matmul per band
         (:meth:`_key_matrix`) instead of Q separate hashing passes."""
+        return self.candidates_for_keys(self.key_tuples(vectors))
+
+    def key_tuples(self, vectors: np.ndarray) -> list[tuple[int, ...]]:
+        """Packed band keys for every row of a ``(Q, dim)`` matrix as
+        one hashable ``(n_bands,)`` int tuple per query — the *semantic
+        identity* of a query under this index's LSH geometry.  Two
+        queries with equal tuples probe exactly the same buckets, so
+        their candidate sets are identical by construction; the result
+        cache keys its shortlist tier on these tuples.  Same
+        shape-independent hashing kernel as every other path
+        (:meth:`_key_matrix`), so the tuples are bit-stable across
+        batch compositions."""
         matrix = self._as_query_matrix(vectors)
         keys = self._key_matrix(matrix)          # (bands, Q)
+        return [tuple(int(key) for key in keys[:, q]) for q in range(len(matrix))]
+
+    def candidates_for_keys(self, key_tuples: list[tuple[int, ...]]
+                            ) -> list[set[int]]:
+        """Candidate sets for already-hashed queries: probe the band
+        buckets with precomputed :meth:`key_tuples` output.  The bucket
+        probing half of :meth:`candidates_many`, split out so a caller
+        holding the keys (the result cache's semantic tier) never hashes
+        twice."""
         out: list[set[int]] = []
-        for q in range(len(matrix)):
+        for keys in key_tuples:
+            if len(keys) != self.n_bands:
+                raise ValueError(f"expected {self.n_bands} band keys per "
+                                 f"query, got {len(keys)}")
             cands: set[int] = set()
-            for table, key in zip(self._tables, keys[:, q].tolist()):
+            for table, key in zip(self._tables, keys):
                 cands.update(table.get(key, ()))
             cands.difference_update(self._removed)
             out.append(cands)

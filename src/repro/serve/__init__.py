@@ -22,6 +22,7 @@ from .protocol import (
     ProtocolError,
     Request,
     index_route,
+    no_cache_flag,
     parse_json_object,
     parse_query_payload,
     read_request,
@@ -34,6 +35,6 @@ __all__ = [
     "RetrievalServer", "ServerThread", "MicroBatchDispatcher",
     "ServerStats", "ProtocolError", "Request", "read_request",
     "render_response", "parse_query_payload", "parse_json_object",
-    "index_route", "validate_dispatch_params", "DEFAULT_MAX_BODY",
-    "LOG_ENV",
+    "index_route", "no_cache_flag", "validate_dispatch_params",
+    "DEFAULT_MAX_BODY", "LOG_ENV",
 ]

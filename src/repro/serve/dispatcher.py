@@ -49,15 +49,19 @@ def validate_dispatch_params(max_batch: int, max_wait_ms: float,
 
 
 class _Pending:
-    """One enqueued query awaiting its tick."""
+    """One enqueued query awaiting its tick.  ``plan`` is the cache
+    engine's :class:`~repro.cache.engine.QueryPlan` from the submit-time
+    lookup (``None`` when the cache is off or the request bypassed it
+    with ``no_cache``) — exact hits never become ``_Pending`` at all."""
 
-    __slots__ = ("vector", "k", "exclude", "future")
+    __slots__ = ("vector", "k", "exclude", "future", "plan")
 
-    def __init__(self, vector, k, exclude, future):
+    def __init__(self, vector, k, exclude, future, plan=None):
         self.vector = vector
         self.k = k
         self.exclude = exclude
         self.future = future
+        self.plan = plan
 
 
 class MicroBatchDispatcher:
@@ -81,17 +85,31 @@ class MicroBatchDispatcher:
     jobs:
         Passed through to ``query_many`` to fan per-shard work over a
         thread pool inside the tick.
+    engine:
+        Optional :class:`~repro.cache.engine.CachedQueryEngine` over
+        the same index.  With an engine attached, submits look the
+        cache up on the event-loop thread: exact hits resolve
+        immediately without joining a tick, semantic hits carry their
+        shortlist into the tick (rescored exactly, one executor call
+        per tick group), and misses run the full path while harvesting
+        shortlists for the semantic tier.  Cache state is only ever
+        touched on the loop thread (lookup at submit, store at demux);
+        the executor threads see plain index calls.
     """
 
     def __init__(self, index, max_batch: int = 32,
                  max_wait_ms: float = 2.0, jobs: int | None = None,
-                 stats=None):
+                 stats=None, engine=None):
         validate_dispatch_params(max_batch, max_wait_ms, jobs)
+        if engine is not None and engine.index is not index:
+            raise ValueError("cache engine wraps a different index than "
+                             "the dispatcher serves")
         self.index = index
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.jobs = jobs
         self.stats = stats
+        self.engine = engine
         self._pending: list[_Pending] = []
         self._timer: asyncio.TimerHandle | None = None
         self._inflight: set[asyncio.Task] = set()
@@ -111,20 +129,33 @@ class MicroBatchDispatcher:
     # Enqueue
     # ------------------------------------------------------------------
     async def submit_many(self, matrix: np.ndarray, k: int,
-                          excludes: list[str | None]) -> list[list]:
+                          excludes: list[str | None],
+                          no_cache: bool = False) -> list[list]:
         """Enqueue every row of ``matrix`` and await all results.
 
         Rows join the shared pending list individually, so one client's
         batch coalesces with other clients' concurrent singles; results
         come back aligned with the rows.  A failed tick propagates its
-        exception to every affected caller.
+        exception to every affected caller.  With a cache engine
+        attached, exact hits resolve here without joining a tick;
+        ``no_cache`` rows skip both tiers entirely (neither read nor
+        written) and are counted as bypassed.
         """
         loop = asyncio.get_running_loop()
         futures: list[asyncio.Future] = []
+        engine = self.engine
+        if engine is not None and no_cache:
+            engine.note_bypass(len(matrix))
         for vector, exclude in zip(matrix, excludes):
             future = loop.create_future()
-            self._pending.append(_Pending(vector, k, exclude, future))
             futures.append(future)
+            plan = None
+            if engine is not None and not no_cache:
+                hits, plan = engine.lookup(vector, k, exclude)
+                if hits is not None:
+                    future.set_result(hits)
+                    continue
+            self._pending.append(_Pending(vector, k, exclude, future, plan))
             if len(self._pending) >= self.max_batch:
                 self.flush_now()
             elif self._timer is None:
@@ -160,23 +191,64 @@ class MicroBatchDispatcher:
                                for k, members in groups.items()))
 
     async def _run_group(self, k: int, members: list[_Pending]) -> None:
+        """One tick's per-``k`` group.  Without a cache every member
+        takes the direct ``query_many`` path; with one, members split
+        into direct (``no_cache``), semantic-hit (cached shortlist,
+        exact rescore) and miss (full path + shortlist harvest)
+        subgroups that run concurrently — each is still one GEMM pass
+        for all its rows."""
+        direct = [m for m in members if m.plan is None]
+        shortlisted = [m for m in members
+                       if m.plan is not None and m.plan.shortlist is not None]
+        misses = [m for m in members
+                  if m.plan is not None and m.plan.shortlist is None]
+        runs = []
+        if direct:
+            runs.append(self._run_members(k, direct, self._call_direct))
+        if shortlisted:
+            runs.append(self._run_members(k, shortlisted,
+                                          self._call_shortlisted))
+        if misses:
+            runs.append(self._run_members(k, misses, self._call_misses))
+        await asyncio.gather(*runs)
+
+    def _call_direct(self, matrix, k, excludes, members):
+        return (self.index.query_many(matrix, k=k, excludes=excludes,
+                                      jobs=self.jobs), None)
+
+    def _call_shortlisted(self, matrix, k, excludes, members):
+        shortlists = [item.plan.shortlist for item in members]
+        return (self.engine.run_shortlisted(matrix, k, shortlists, excludes,
+                                            jobs=self.jobs), None)
+
+    def _call_misses(self, matrix, k, excludes, members):
+        return self.engine.run_misses(matrix, k, excludes, jobs=self.jobs)
+
+    async def _run_members(self, k: int, members: list[_Pending],
+                           call) -> None:
         loop = asyncio.get_running_loop()
         matrix = np.stack([item.vector for item in members])
         excludes = [item.exclude for item in members]
         if self.stats is not None:
             self.stats.record_batch(len(members))
         try:
-            results = await loop.run_in_executor(
-                None, partial(self.index.query_many, matrix, k=k,
-                              excludes=excludes, jobs=self.jobs))
+            results, harvested = await loop.run_in_executor(
+                None, partial(call, matrix, k, excludes, members))
         except Exception as error:
             for item in members:
                 if not item.future.done():
                     item.future.set_exception(error)
         else:
-            # Demux strictly by position: row i of the group's matrix
-            # is member i's query, so member i gets result i.
-            for item, hits in zip(members, results):
+            # Demux strictly by position: row i of the subgroup's matrix
+            # is member i's query, so member i gets result i.  Stores
+            # happen here — back on the event-loop thread — honoring
+            # the cache's single-writer contract; the engine drops them
+            # if the index generation moved since lookup.
+            for position, (item, hits) in enumerate(zip(members, results)):
+                if self.engine is not None and item.plan is not None:
+                    self.engine.store(
+                        item.plan, hits,
+                        None if harvested is None else harvested[position])
                 if not item.future.done():
                     item.future.set_result(hits)
 

@@ -208,6 +208,16 @@ def index_route(payload: dict) -> str | None:
     return name
 
 
+def no_cache_flag(payload: dict) -> bool:
+    """The optional ``"no_cache"`` field of a ``POST /query`` payload:
+    ``False`` when absent, the flag when it is a real boolean, 400
+    otherwise (truthy strings must not silently bypass the cache)."""
+    flag = payload.get("no_cache", False)
+    if not isinstance(flag, bool):
+        raise ProtocolError(400, "'no_cache' must be a boolean")
+    return flag
+
+
 def parse_query_payload(body: bytes | dict,
                         dim: int) -> tuple[np.ndarray, int,
                                            list[str | None], bool]:

@@ -47,6 +47,7 @@ import threading
 import time
 from pathlib import Path
 
+from ..cache import DEFAULT_CACHE_SIZE
 from ..catalog import Catalog, CatalogHandle
 from .protocol import (
     DEFAULT_MAX_BODY,
@@ -56,6 +57,7 @@ from .protocol import (
     format_hits,
     index_route,
     json_body,
+    no_cache_flag,
     parse_json_object,
     parse_query_payload,
     read_request,
@@ -96,6 +98,8 @@ class RetrievalServer:
                  max_batch: int = 32, max_wait_ms: float = 2.0,
                  jobs: int | None = None, mmap: bool = True,
                  max_open: int | None = None,
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 cache_ttl: float | None = None,
                  max_body: int = DEFAULT_MAX_BODY,
                  drain_timeout: float = 10.0,
                  log_path: str | Path | None = None):
@@ -110,10 +114,13 @@ class RetrievalServer:
         self.max_body = max_body
         self.drain_timeout = drain_timeout
         self.stats = ServerStats()
-        # Validates the knobs eagerly; per-entry dispatchers are created
-        # lazily by the handle, on each entry's first use.
+        # Validates the knobs eagerly; per-entry dispatchers (and result
+        # caches — cache_size=0 turns caching off) are created lazily by
+        # the handle, on each entry's first use.
         self.handle.configure_dispatch(stats=self.stats, max_batch=max_batch,
-                                       max_wait_ms=max_wait_ms, jobs=jobs)
+                                       max_wait_ms=max_wait_ms, jobs=jobs,
+                                       cache_size=cache_size,
+                                       cache_ttl=cache_ttl)
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self._server: asyncio.Server | None = None
@@ -342,10 +349,26 @@ class RetrievalServer:
                 "max_wait_ms": self.max_wait_ms,
             }
             snapshot["indexes"] = {
-                slot.name: dict(slot.stats.snapshot(), open=slot.open)
-                for slot in self.handle}
+                slot.name: self._slot_stats(slot) for slot in self.handle}
             return 200, snapshot, 0
         return 404, {"error": f"no route {request.target!r}"}, 0
+
+    def _slot_stats(self, slot) -> dict:
+        """One entry's ``/stats`` section: lifetime counters plus, while
+        the index is open, its live generation and the cache's entry
+        counts (the lifecycle tests read the generation here to observe
+        invalidation).  With caching disabled the section is omitted
+        entirely, so whenever it appears its counters partition the
+        query total."""
+        described = dict(slot.stats.snapshot(), open=slot.open)
+        if slot.open:
+            described["generation"] = slot.index.generation
+        if not self.handle.cache_enabled:
+            described.pop("cache")
+        elif slot.cache is not None:
+            described["cache"] = dict(described["cache"],
+                                      **slot.cache.sizes())
+        return described
 
     def _describe_slot(self, slot) -> dict:
         entry = slot.entry
@@ -359,6 +382,7 @@ class RetrievalServer:
             # Only an *open* index knows its live entry count; listing
             # must never force-open a closed one.
             "entries": len(slot.index) if slot.open else None,
+            "generation": slot.index.generation if slot.open else None,
             "queries": slot.stats.queries_total,
         }
         return described
@@ -368,6 +392,7 @@ class RetrievalServer:
         try:
             payload = parse_json_object(request.body)
             name = index_route(payload)
+            no_cache = no_cache_flag(payload)
         except ProtocolError as error:
             return error.status, {"error": error.message}, 0
         try:
@@ -388,7 +413,8 @@ class RetrievalServer:
                 payload, slot.index.dim)
         except ProtocolError as error:
             return error.status, {"error": error.message}, 0
-        results = await slot.dispatcher.submit_many(matrix, k, excludes)
+        results = await slot.dispatcher.submit_many(matrix, k, excludes,
+                                                    no_cache=no_cache)
         slot.stats.record_queries(len(results))
         if single:
             return 200, {"hits": format_hits(results[0])}, 1

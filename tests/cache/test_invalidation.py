@@ -1,0 +1,308 @@
+"""Invalidation layer: a lifecycle op must make every cached entry
+unreachable — no stale result, ever.
+
+Three levels:
+
+- engine: hypothesis interleaves ``remove``/``compact``/``merge`` with
+  cached query traffic and requires each answer to equal a fresh
+  ``query_many`` against the index's *current* state;
+- server: a lifecycle op between requests is observable as a
+  generation bump in ``/stats`` and the next served answer reflects it;
+- catalog: LRU eviction drops the cache together with the dispatcher
+  (a reopened slot starts cold), while the hit/miss counters survive on
+  the slot's stats.
+"""
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+from cacheutil import build_index, make_corpus, ranked_many, save_layout
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CachedQueryEngine
+from repro.catalog import Catalog, CatalogEntry, CatalogHandle
+from repro.index import IndexSpec, ShardedIndex, VectorIndex, open_index
+from repro.serve import ServerThread
+
+DIM = 12
+SHARD_COUNTS = (1, 2, 5)
+
+
+def http_get(port: int, path: str) -> dict:
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as reply:
+        return json.loads(reply.read())
+
+
+def post_query(port: int, payload: dict) -> dict:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/query",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request) as reply:
+        return json.loads(reply.read())
+
+
+class TestEngineLifecycle:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(n_shards=st.sampled_from(SHARD_COUNTS),
+           seed=st.integers(0, 2**16),
+           ops=st.lists(st.sampled_from(["remove", "compact", "merge",
+                                         "query", "query", "query"]),
+                        min_size=4, max_size=12))
+    def test_interleaved_lifecycle_never_serves_stale(self, n_shards, seed,
+                                                      ops):
+        rng = np.random.default_rng(seed)
+        keys, vectors = make_corpus(n=36, dim=DIM, seed=seed % 89)
+        index = build_index(keys, vectors, n_shards, seed=0)
+        engine = CachedQueryEngine(index, max_entries=32)
+        live = list(keys)
+        extra_keys, extra_vectors = make_corpus(n=6, dim=DIM,
+                                                seed=(seed % 89) + 1)
+        extra_keys = [f"x{key}" for key in extra_keys]
+        merged = False
+        pool = np.concatenate([vectors[:4], rng.standard_normal((2, DIM))])
+        for op in ops:
+            if op == "remove" and live:
+                victim = live.pop(int(rng.integers(0, len(live))))
+                index.remove(victim)
+            elif op == "compact":
+                index.compact()
+            elif op == "merge" and not merged:
+                other = VectorIndex(dim=DIM, seed=0)
+                other.add_batch(extra_keys, extra_vectors)
+                index.merge(other)
+                live.extend(extra_keys)
+                merged = True
+            # Query traffic between (and after) every mutation: the
+            # cache may hit or miss, but the answer must match the
+            # index's current state exactly.
+            batch = pool[rng.integers(0, len(pool), size=2)]
+            got = engine.query_many(batch, k=4)
+            want = index.query_many(batch, k=4)
+            assert ranked_many(got) == ranked_many(want)
+
+    def test_removed_key_disappears_from_cached_answers(self):
+        keys, vectors = make_corpus(n=30, dim=DIM, seed=5)
+        index = build_index(keys, vectors, 1, seed=0)
+        engine = CachedQueryEngine(index, max_entries=16)
+        query = vectors[0][None, :]
+        top = engine.query_many(query, k=3)[0][0].key
+        generation_before = engine.generation
+        index.remove(top)
+        after = engine.query_many(query, k=3)
+        assert top not in [hit.key for hit in after[0]]
+        assert engine.generation > generation_before
+        assert ranked_many(after) == ranked_many(index.query_many(query, k=3))
+
+    def test_generation_change_clears_both_tiers(self):
+        keys, vectors = make_corpus(n=30, dim=DIM, seed=6)
+        index = build_index(keys, vectors, 1, seed=0)
+        engine = CachedQueryEngine(index, max_entries=16)
+        engine.query_many(vectors[::3][:3], k=3)  # 3 distinct vectors
+        assert engine.sizes()["exact_entries"] == 3
+        index.compact()  # no tombstones: may or may not bump
+        index.remove(keys[0])  # definitely bumps
+        engine.query_many(vectors[9:10], k=3)
+        sizes = engine.sizes()
+        # Only the post-bump query's entries remain.
+        assert sizes["exact_entries"] == 1
+        assert sizes["semantic_entries"] == 1
+
+    def test_store_against_moved_generation_is_dropped(self):
+        """The submit-to-tick race: a plan looked up before a lifecycle
+        op must not store its (stale) result after it."""
+        keys, vectors = make_corpus(n=30, dim=DIM, seed=7)
+        index = build_index(keys, vectors, 1, seed=0)
+        engine = CachedQueryEngine(index, max_entries=16)
+        vector = vectors[0]
+        hits, plan = engine.lookup(vector, 3, None)
+        assert hits is None
+        results, shortlists = engine.run_misses(vector[None, :], 3, [None])
+        index.remove(keys[0])  # generation moves between run and store
+        engine.store(plan, results[0], shortlists[0])
+        assert engine.sizes()["exact_entries"] == 0
+        assert engine.sizes()["semantic_entries"] == 0
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_sharded_generation_survives_rebalance(self, n_shards):
+        """Rebalance resets per-shard counters; the layout generation
+        must stay monotonic anyway, or an old cache key could be
+        re-minted."""
+        keys, vectors = make_corpus(n=30, dim=DIM, seed=8)
+        index = build_index(keys, vectors, max(n_shards, 2), seed=0)
+        if not isinstance(index, ShardedIndex):
+            pytest.skip("single-file layout has no rebalance")
+        before = index.generation
+        index.rebalance()
+        assert index.generation > before
+
+
+class TestServerLifecycle:
+    def test_generation_bump_visible_in_stats_and_answers(self):
+        """Mutate the served (pinned, in-memory) index between
+        requests: /stats shows the bump and the cached entry is gone."""
+        keys, vectors = make_corpus(n=40, dim=DIM, seed=9)
+        index = build_index(keys, vectors, 1, seed=0)
+        with ServerThread(index, max_wait_ms=1.0) as thread:
+            port = thread.server.port
+            query = [float(x) for x in vectors[0]]
+            first = post_query(port, {"vector": query, "k": 3})
+            top = first["hits"][0]["key"]
+            stats = http_get(port, "/stats")["indexes"]["default"]
+            generation_before = stats["generation"]
+            index.remove(top)
+            second = post_query(port, {"vector": query, "k": 3})
+            assert top not in [hit["key"] for hit in second["hits"]]
+            stats = http_get(port, "/stats")["indexes"]["default"]
+            assert stats["generation"] > generation_before
+            offline = index.query_many(np.asarray([query]), k=3)
+            assert [hit["key"] for hit in second["hits"]] \
+                == [hit.key for hit in offline[0]]
+
+    def test_exclude_only_difference_not_shared_over_the_wire(self):
+        """Satellite regression, wire level: two requests differing
+        only in ``exclude`` must not share a cache entry."""
+        keys, vectors = make_corpus(n=40, dim=DIM, seed=10)
+        index = build_index(keys, vectors, 1, seed=0)
+        with ServerThread(index, max_wait_ms=1.0) as thread:
+            port = thread.server.port
+            query = [float(x) for x in vectors[0]]
+            plain = post_query(port, {"vector": query, "k": 3})
+            top = plain["hits"][0]["key"]
+            excluded = post_query(port, {"vector": query, "k": 3,
+                                         "exclude": top})
+            assert top not in [hit["key"] for hit in excluded["hits"]]
+            # Replay both shapes: each must hit its own entry.
+            assert post_query(port, {"vector": query, "k": 3}) == plain
+            assert post_query(port, {"vector": query, "k": 3,
+                                     "exclude": top}) == excluded
+            cache = http_get(port, "/stats")["indexes"]["default"]["cache"]
+            assert cache["exact_hits"] == 2
+            # The exclude variant shares band keys with the plain
+            # request, so it rides the semantic tier (rescored without
+            # the excluded key) rather than missing outright — but it
+            # must never share the *exact* entry.
+            assert cache["misses"] == 1
+            assert cache["semantic_hits"] == 1
+
+
+class TestCatalogEviction:
+    def make_handle(self, tmp_path, max_open=1):
+        paths = {}
+        for position, name in enumerate(("alpha", "beta")):
+            keys, vectors = make_corpus(n=36, dim=DIM, seed=20 + position)
+            paths[name] = save_layout(tmp_path, keys, vectors, 1,
+                                      seed=20 + position, name=name)
+        catalog = Catalog(root=tmp_path)
+        for name, path in paths.items():
+            catalog.add(CatalogEntry(name=name, path=path.name,
+                                     kind="vector",
+                                     default=(name == "alpha")))
+        handle = CatalogHandle(catalog, mmap=True, max_open=max_open)
+        handle.configure_dispatch(cache_size=16)
+        return handle
+
+    def test_eviction_drops_cache_with_dispatcher(self, tmp_path):
+        handle = self.make_handle(tmp_path)
+        alpha = handle.get("alpha")
+        assert alpha.cache is not None and alpha.dispatcher is not None
+        alpha.cache.exact.put(b"sentinel", ["entry"])
+        handle.get("beta")  # max_open=1: evicts alpha
+        assert not alpha.open
+        assert alpha.cache is None
+        assert alpha.dispatcher is None
+        reopened = handle.get("alpha")
+        assert reopened.cache is not None
+        assert reopened.cache.exact.get(b"sentinel") is None, \
+            "a reopened slot must start with a cold cache"
+
+    def test_counters_survive_eviction(self, tmp_path):
+        handle = self.make_handle(tmp_path)
+        alpha = handle.get("alpha")
+        keys, vectors = make_corpus(n=36, dim=DIM, seed=20)
+        alpha.cache.query_many(vectors[:2], k=3)
+        assert alpha.stats.cache.misses == 2
+        handle.get("beta")
+        reopened = handle.get("alpha")
+        assert reopened.stats.cache.misses == 2, \
+            "cache counters live on the stats, not the engine"
+        reopened.cache.query_many(vectors[:2], k=3)
+        assert reopened.stats.cache.misses == 4
+
+    def test_cache_size_zero_disables_caching(self, tmp_path):
+        handle = self.make_handle(tmp_path)
+        handle.configure_dispatch(cache_size=0)
+        assert not handle.cache_enabled
+        slot = handle.get("alpha")
+        assert slot.cache is None
+        assert slot.dispatcher.engine is None
+
+    def test_disabled_cache_has_no_stats_section(self, tmp_path):
+        """A no-cache server omits the per-index ``cache`` section from
+        ``/stats`` entirely — an all-zero section would break the
+        documented ``hits + misses + bypassed == queries`` partition."""
+        keys, vectors = make_corpus(n=36, dim=DIM, seed=20)
+        path = save_layout(tmp_path, keys, vectors, 1, seed=20)
+        index = open_index(path)
+        with ServerThread(index, cache_size=0) as handle:
+            reply = post_query(handle.port,
+                               {"vector": vectors[0].tolist(), "k": 3})
+            assert len(reply["hits"]) == 3
+            stats = http_get(handle.port, "/stats")
+        section = next(iter(stats["indexes"].values()))
+        assert section["queries"] == 1
+        assert "cache" not in section
+
+    def test_bad_cache_knobs_fail_eagerly(self, tmp_path):
+        handle = self.make_handle(tmp_path)
+        with pytest.raises(ValueError, match="cache size"):
+            handle.configure_dispatch(cache_size=-1)
+        with pytest.raises(ValueError, match="cache ttl"):
+            handle.configure_dispatch(cache_ttl=0)
+
+
+class TestManifestGeneration:
+    def test_replace_bumps_the_entry_generation(self, tmp_path):
+        keys, vectors = make_corpus(n=24, dim=DIM, seed=30)
+        path = save_layout(tmp_path, keys, vectors, 1, seed=30)
+        catalog = Catalog(root=tmp_path)
+        catalog.add(CatalogEntry(name="main", path=path.name,
+                                 kind="vector", default=True))
+        assert catalog.entries["main"].generation == 0
+        catalog.replace(CatalogEntry(name="main", path=path.name,
+                                     kind="vector"))
+        assert catalog.entries["main"].generation == 1
+        assert catalog.entries["main"].default, \
+            "default status carries over on replace"
+        catalog.save()
+        reloaded = Catalog.load(tmp_path)
+        assert reloaded.entries["main"].generation == 1
+
+    def test_replace_unknown_name_is_key_error(self):
+        catalog = Catalog()
+        with pytest.raises(KeyError):
+            catalog.replace(CatalogEntry(name="ghost", path="x",
+                                         kind="vector"))
+
+    def test_manifest_rejects_bad_generation(self, tmp_path):
+        keys, vectors = make_corpus(n=24, dim=DIM, seed=31)
+        path = save_layout(tmp_path, keys, vectors, 1, seed=31)
+        manifest = {"catalog_version": 1,
+                    "entries": [{"name": "main", "path": path.name,
+                                 "kind": "vector", "generation": -1}]}
+        (tmp_path / "catalog.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="generation"):
+            Catalog.load(tmp_path)
+
+    def test_older_manifest_without_generation_reads_as_zero(self, tmp_path):
+        keys, vectors = make_corpus(n=24, dim=DIM, seed=32)
+        path = save_layout(tmp_path, keys, vectors, 1, seed=32)
+        manifest = {"catalog_version": 1,
+                    "entries": [{"name": "main", "path": path.name,
+                                 "kind": "vector"}]}
+        (tmp_path / "catalog.json").write_text(json.dumps(manifest))
+        assert Catalog.load(tmp_path).entries["main"].generation == 0

@@ -52,3 +52,34 @@ def test_bench_serve_smoke(tmp_path):
     (tmp_path / "BENCH_serve.json").write_text(json.dumps(report))
     text = bench.render(report).to_text()
     assert "per-request" in text and "micro-batch" in text
+
+
+def test_bench_cache_zipfian_smoke(tmp_path):
+    """The ``--zipfian`` cache workload at miniature scale.  The
+    harness asserts served == offline rankings before any timing, so
+    passing means cached equivalence held over real sockets; hit-rate
+    *shape* (zipfian tiny pool → mostly exact hits; near-dupe → mostly
+    semantic hits) is asserted, QPS ordering is not (CI noise)."""
+    bench = load_module("bench_serve")
+    report = bench.run_cache(n_vectors=200, dim=16, pool_size=6,
+                             n_requests=60, k=5, n_clients=2,
+                             shard_counts=(2,), workdir=tmp_path)
+    assert report["benchmark"] == "serve-cache"
+    by_key = {(r["workload"], r["mode"]): r for r in report["results"]}
+    assert len(by_key) == 6  # 3 workloads x {no-cache, cached}
+    for record in report["results"]:
+        assert record["seconds"] >= 0
+        assert record["qps"] > 0
+        assert record["n"] == 60
+        if record["mode"] == "no-cache":
+            assert "exact_hit_rate" not in record
+    zipfian = by_key[("zipfian(s=1.1)", "cached")]
+    # 60 requests over 6 distinct queries: at most 6 exact misses.
+    assert zipfian["exact_hit_rate"] >= 0.5
+    near_dupe = by_key[("near-dupe", "cached")]
+    # Every near-dupe vector is fresh: the exact tier cannot carry the
+    # load, the semantic tier must.
+    assert near_dupe["semantic_hit_rate"] > near_dupe["exact_hit_rate"]
+    (tmp_path / "BENCH_cache.json").write_text(json.dumps(report))
+    text = bench.render_cache(report).to_text()
+    assert "zipfian" in text and "near-dupe" in text
