@@ -1,0 +1,267 @@
+"""Distributed serving: scatter-gather coordinator vs in-process index.
+
+One tie-dense corpus is saved as a sharded layout, split into
+per-server slices with :func:`~repro.cluster.split_layout`, and served
+three ways while client threads hammer ``POST /query``:
+
+- ``in-process`` — the local :class:`~repro.index.ShardedIndex` behind
+  a :class:`~repro.serve.ServerThread` (the PR-5 path; the baseline);
+- ``cluster(servers=N)`` for N in ``server_counts`` — the same shards
+  behind N :class:`~repro.cluster.ShardServerThread` members and one
+  :class:`~repro.cluster.RemoteShardedIndex` coordinator, served by the
+  identical retrieval stack.
+
+Before a single timing is recorded, every coordinator's rankings are
+asserted **bit-identical** to the local index's ``query_many`` over
+the full query set — the numbers compare correct clusters only, and a
+wrong merge fails the run rather than skewing it.
+
+The second phase measures the backpressure knee: the coordinator is
+re-served with a small ``--max-backlog`` and hit with increasingly
+oversized request waves; the table reports, per wave, how many
+requests landed 200 vs were shed 429 — the point the valve starts
+shedding is the knee.  Shed requests carry ``Retry-After``, so a
+well-behaved client backs off instead of piling on.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_cluster.py``,
+→ ``results/BENCH_cluster.json``) or via the smoke test in
+``tests/cluster/test_bench_cluster_smoke.py``.
+
+NB: on one box the cluster pays loopback-HTTP + JSON costs for zero
+real parallelism, so in-process QPS should win here; the numbers are
+the honest cost of distribution, and the fan-out only pays off once
+shard servers sit on their own CPUs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster import ClusterHarness, split_layout
+from repro.eval import ResultsTable, results_dir
+from repro.index import IndexSpec, ShardedIndex, open_index
+from repro.serve import ServerThread
+
+SERVER_COUNTS = (1, 2, 5)
+N_SHARDS = 5
+
+
+def _save_sharded(root: Path, keys, vectors, n_shards: int, seed: int):
+    sharded = ShardedIndex.create(
+        IndexSpec(kind="vector", dim=vectors.shape[1], seed=seed), n_shards)
+    sharded.add_batch(keys, vectors)
+    return sharded.save(root / f"sharded-{n_shards}")
+
+
+def _hammer(port: int, queries: np.ndarray, k: int, n_clients: int,
+            want: list) -> float:
+    """Fire every query as its own request from keep-alive client
+    threads; assert each response equals the offline ranking; return
+    elapsed wall seconds."""
+    slices = [list(range(c, len(queries), n_clients))
+              for c in range(n_clients)]
+    failures: list[str] = []
+
+    def client(rows: list[int]) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            for q in rows:
+                body = json.dumps({"vector": queries[q].tolist(),
+                                   "k": k}).encode()
+                conn.request("POST", "/query", body=body,
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                if response.status != 200:
+                    failures.append(f"query {q}: status {response.status}")
+                    continue
+                got = [(hit["key"], hit["score"])
+                       for hit in payload["hits"]]
+                if got != want[q]:
+                    failures.append(f"query {q}: served ranking diverged")
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=client, args=(rows,))
+               for rows in slices if rows]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if failures:
+        raise AssertionError(
+            f"served rankings diverged from offline query_many — the "
+            f"cluster is broken, timings are meaningless: {failures[:3]}")
+    return elapsed
+
+
+def _overload_wave(port: int, queries: np.ndarray, k: int,
+                   n_clients: int, rows_per_request: int) -> dict:
+    """One overload wave: every client fires batch requests of
+    ``rows_per_request`` rows as fast as it can for one pass over the
+    query set; returns 200/429 counts (any other status raises)."""
+    counts = {200: 0, 429: 0}
+    lock = threading.Lock()
+    bad: list[int] = []
+    per_client = max(1, len(queries) // (n_clients * rows_per_request))
+
+    def client(worker: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        rng = np.random.default_rng(worker)
+        try:
+            for _ in range(per_client):
+                rows = rng.integers(0, len(queries), size=rows_per_request)
+                body = json.dumps({"vectors": queries[rows].tolist(),
+                                   "k": k}).encode()
+                conn.request("POST", "/query", body=body,
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                response.read()
+                with lock:
+                    if response.status in counts:
+                        counts[response.status] += 1
+                    else:
+                        bad.append(response.status)
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=client, args=(w,))
+               for w in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if bad:
+        raise AssertionError(f"overload wave saw non-200/429 statuses: "
+                             f"{bad[:5]}")
+    return counts
+
+
+def run(n_vectors: int = 20000, dim: int = 64, n_queries: int = 240,
+        k: int = 10, n_clients: int = 8,
+        server_counts: tuple[int, ...] = SERVER_COUNTS,
+        n_shards: int = N_SHARDS, max_backlog: int = 8,
+        overload_rows: tuple[int, ...] = (1, 4, 16, 64),
+        seed: int = 0, workdir: str | Path | None = None) -> dict:
+    import tempfile
+
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n_vectors, dim))
+    queries = rng.standard_normal((n_queries, dim))
+    keys = [f"k{i:06d}" for i in range(n_vectors)]
+    records = []
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(workdir) if workdir is not None else Path(scratch)
+        path = _save_sharded(root, keys, vectors, n_shards, seed)
+        local = open_index(path, mmap=True)
+        want = [[(hit.key, hit.score) for hit in hits]
+                for hits in local.query_many(queries, k=k)]
+
+        # Baseline: the in-process sharded index behind the same stack.
+        with ServerThread(local, max_batch=64, max_wait_ms=1.0) as handle:
+            seconds = _hammer(handle.port, queries, k, n_clients, want)
+        records.append({"op": "serve", "mode": "in-process",
+                        "servers": 0, "n": n_queries, "seconds": seconds,
+                        "qps": n_queries / seconds if seconds else None})
+
+        for n_servers in server_counts:
+            paths = split_layout(path, root / f"split-{n_servers}",
+                                 n_servers)
+            with ClusterHarness(paths) as harness:
+                remote = harness.connect(retries=1)
+                # Equivalence gate: distributed == local, bit for bit,
+                # over the full query set — before any timing.
+                served = remote.query_many(queries, k=k)
+                got = [[(hit.key, hit.score) for hit in hits]
+                       for hits in served]
+                if got != want:
+                    raise AssertionError(
+                        f"cluster(servers={n_servers}) rankings diverged "
+                        f"from local — timings would be meaningless")
+                with ServerThread(remote, max_batch=64,
+                                  max_wait_ms=1.0) as handle:
+                    seconds = _hammer(handle.port, queries, k, n_clients,
+                                      want)
+                records.append({
+                    "op": "serve", "mode": f"cluster(servers={n_servers})",
+                    "servers": n_servers, "n": n_queries,
+                    "seconds": seconds,
+                    "qps": n_queries / seconds if seconds else None})
+
+        # Backpressure knee: small backlog, growing request waves.
+        knee_servers = server_counts[-1]
+        paths = split_layout(path, root / "split-knee", knee_servers)
+        with ClusterHarness(paths) as harness:
+            remote = harness.connect(retries=1)
+            with ServerThread(remote, max_batch=64, max_wait_ms=20.0,
+                              max_backlog=max_backlog) as handle:
+                for rows in overload_rows:
+                    counts = _overload_wave(handle.port, queries, k,
+                                            n_clients, rows)
+                    total = counts[200] + counts[429]
+                    records.append({
+                        "op": "overload",
+                        "mode": f"rows/request={rows}",
+                        "servers": knee_servers, "n": total,
+                        "seconds": None, "qps": None,
+                        "ok": counts[200], "shed": counts[429],
+                        "shed_rate": (counts[429] / total) if total else 0.0,
+                    })
+
+    return {
+        "benchmark": "cluster",
+        "config": {"n_vectors": n_vectors, "dim": dim,
+                   "n_queries": n_queries, "k": k, "n_clients": n_clients,
+                   "server_counts": list(server_counts),
+                   "n_shards": n_shards, "max_backlog": max_backlog,
+                   "overload_rows": list(overload_rows), "seed": seed},
+        "results": records,
+    }
+
+
+def render(report: dict) -> ResultsTable:
+    config = report["config"]
+    out = ResultsTable(
+        f"Distributed serving: {config['n_vectors']} vectors (dim "
+        f"{config['dim']}, {config['n_shards']} shards), "
+        f"{config['n_queries']} queries @ k={config['k']}, "
+        f"{config['n_clients']} clients; overload knee @ "
+        f"max_backlog={config['max_backlog']}",
+        columns=["seconds", "qps", "ok", "shed (429)", "shed rate"])
+    for rec in report["results"]:
+        row = f"{rec['op']} {rec['mode']}"
+        if rec.get("seconds") is not None:
+            out.add(row, "seconds", f"{rec['seconds']:.3f}")
+        if rec.get("qps"):
+            out.add(row, "qps", f"{rec['qps']:.1f}")
+        if rec.get("ok") is not None:
+            out.add(row, "ok", str(rec["ok"]))
+            out.add(row, "shed (429)", str(rec["shed"]))
+            out.add(row, "shed rate", f"{rec['shed_rate']:.1%}")
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.parse_args(argv)
+    report = run()
+    render(report).show()
+    path = results_dir() / "BENCH_cluster.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"Wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -106,6 +106,14 @@ class CachedQueryEngine:
         self.semantic = TTLCache(max_entries, ttl, clock)
         self.counters = CacheCounters() if counters is None else counters
         self._generation = index.generation
+        # The semantic tier needs the index's LSH surface (band keys +
+        # shortlist harvesting).  A remote coordinator index
+        # (RemoteShardedIndex) has neither — its hyperplanes live on
+        # the shard servers — so it gets the exact tier only: hits are
+        # still fingerprint-keyed full results, misses run the plain
+        # query path with no shortlist harvest.
+        self._semantic_capable = (hasattr(index, "band_key_tuples")
+                                  and hasattr(index, "collect_shortlists"))
 
     # -- loop-thread surface -------------------------------------------
 
@@ -140,6 +148,9 @@ class CachedQueryEngine:
         if hits is not None:
             self.counters.record("exact")
             return hits, None
+        if not self._semantic_capable:
+            self.counters.record("miss")
+            return None, QueryPlan(fingerprint, None, None, generation)
         band_key = self.index.band_key_tuples(vector[None, :])[0]
         shortlist = self.semantic.get((generation, band_key))
         self.counters.record("semantic" if shortlist is not None else "miss")
@@ -183,11 +194,17 @@ class CachedQueryEngine:
                                                 excludes=excludes, jobs=jobs)
 
     def run_misses(self, matrix: np.ndarray, k: int, excludes: list,
-                   jobs: int | None = None) -> tuple[list, list]:
+                   jobs: int | None = None) -> tuple[list, list | None]:
         """Full hash-probe-rescore for cache misses, harvesting each
         query's shortlist for the semantic tier on the way: ``(results,
         shortlists)``.  Identical to ``index.query_many`` because the
-        shortlist *is* the candidate set that call would probe."""
+        shortlist *is* the candidate set that call would probe.  For an
+        exact-only index (no shortlist surface) this is the plain query
+        path and the harvest is ``None``."""
+        if not self._semantic_capable:
+            return (self.index.query_many(matrix, k=k,
+                                          excludes=list(excludes),
+                                          jobs=jobs), None)
         _keys, shortlists = self.index.collect_shortlists(matrix)
         results = self.index.query_with_shortlists(matrix, k, shortlists,
                                                    excludes=excludes,
@@ -234,6 +251,8 @@ class CachedQueryEngine:
             rows = [q for q, _plan in misses]
             served, harvested = self.run_misses(
                 matrix[rows], k, [excludes[q] for q in rows], jobs=jobs)
+            if harvested is None:
+                harvested = [None] * len(served)
             for (q, plan), hits, shortlist in zip(misses, served, harvested):
                 results[q] = hits
                 self.store(plan, hits, shortlist)

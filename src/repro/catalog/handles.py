@@ -203,22 +203,27 @@ class CatalogHandle:
                            max_wait_ms: float = 2.0,
                            jobs: int | None = None,
                            cache_size: int = DEFAULT_CACHE_SIZE,
-                           cache_ttl: float | None = None) -> None:
+                           cache_ttl: float | None = None,
+                           max_backlog: int | None = None) -> None:
         """Set the knobs every per-slot dispatcher (and result-cache
         engine) is created with, plus an optional server-wide
         batch-stats sink.  ``cache_size`` is the per-tier entry bound
         for each index's cache — 0 disables caching entirely;
         ``cache_ttl`` expires entries after that many seconds.
+        ``max_backlog`` bounds each slot's pending queue (backpressure:
+        overflow raises ``BacklogFull`` → 429); ``None`` is unbounded.
         Validates eagerly (the same checks ``MicroBatchDispatcher`` and
         ``TTLCache`` make) so a bad configuration fails at server
         construction, not at the first query."""
         from repro.serve.dispatcher import validate_dispatch_params
 
         validate_dispatch_params(max_batch=max_batch,
-                                 max_wait_ms=max_wait_ms, jobs=jobs)
+                                 max_wait_ms=max_wait_ms, jobs=jobs,
+                                 max_backlog=max_backlog)
         validate_cache_params(cache_size, cache_ttl)
         self._dispatch_kwargs = {"max_batch": max_batch,
-                                 "max_wait_ms": max_wait_ms, "jobs": jobs}
+                                 "max_wait_ms": max_wait_ms, "jobs": jobs,
+                                 "max_backlog": max_backlog}
         self._cache_kwargs = {"max_entries": cache_size, "ttl": cache_ttl}
         self._batch_sink = stats
 

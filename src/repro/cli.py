@@ -49,6 +49,16 @@ Subcommands::
                                                            caps residency),
                                                            graceful drain on
                                                            SIGINT/SIGTERM
+    python -m repro.cli serve-shard <layout> --port N      one cluster shard
+                                                           server (the
+                                                           per-shard half of
+                                                           scatter-gather)
+    python -m repro.cli serve --cluster topology.json      coordinator over a
+                                                           fleet of shard
+                                                           servers — same
+                                                           endpoints and
+                                                           rankings as local
+                                                           serve
 
 Saved indexes are opened through :func:`repro.index.open_index`, so
 every lifecycle command accepts either layout — a single ``.npz`` file
@@ -651,15 +661,75 @@ def cmd_catalog_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_shard(args: argparse.Namespace) -> int:
+    """``serve-shard``: run one cluster shard server.
+
+    Serves the per-shard half of the scatter-gather contract
+    (``POST /partial_query`` / ``POST /brute_query`` / ``GET
+    /healthz``) over one saved layout — a single ``.npz`` or a sharded
+    directory whose shards are co-located on this box.  A coordinator
+    (``serve --cluster``) fans query ticks across a fleet of these.
+    Serves until SIGINT/SIGTERM, then drains in-flight requests and
+    exits 0.
+    """
+    import asyncio
+    import signal
+
+    from .cluster import ShardServer
+    from .index import open_index
+
+    try:
+        index = open_index(args.path, mmap=not args.no_mmap)
+    except (FileNotFoundError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    async def _serve() -> int:
+        server = ShardServer(index, host=args.host, port=args.port,
+                             log_path=args.log_file)
+        await server.start()
+        # The harness parses host:port out of this line — keep the URL
+        # as the banner's final colon-bearing token.
+        print(f"Serving shard layout ({len(index)} entries, "
+              f"{len(server.shards)} local shard(s), "
+              f"{'mmap' if not args.no_mmap else 'eager'}) on "
+              f"http://{args.host}:{server.port} — POST /partial_query, "
+              f"POST /brute_query, GET /healthz", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-posix
+                pass
+        try:
+            await stop.wait()
+        finally:
+            print("Draining in-flight requests ...", flush=True)
+            await server.shutdown()
+            print(f"Served {server.requests_total} requests "
+                  f"({server.queries_total} queries)")
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``serve``: run the async retrieval server.
 
     ``path`` may be one saved index (single ``.npz`` or sharded
     directory) — opened once, memory-mapped unless ``--no-mmap`` — or a
     catalog directory, whose entries open lazily as queries route to
-    them (``--max-open`` caps how many stay resident).  Serves until
-    SIGINT/SIGTERM, which triggers a graceful drain: in-flight requests
-    complete, every open dispatcher flushes, then the process exits 0.
+    them (``--max-open`` caps how many stay resident).  Alternatively
+    ``--cluster topology.json`` serves a *distributed* index: a
+    coordinator over the listed shard servers, same endpoints, same
+    rankings.  Serves until SIGINT/SIGTERM, which triggers a graceful
+    drain: in-flight requests complete, every open dispatcher flushes,
+    then the process exits 0.
     """
     import asyncio
     import signal
@@ -668,6 +738,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .index import open_index
     from .serve import RetrievalServer
 
+    if (args.path is None) == (args.cluster is None):
+        print("serve takes exactly one target: a saved index / catalog "
+              "path, or --cluster topology.json", file=sys.stderr)
+        return 2
+    if args.max_backlog is not None and args.max_backlog < 1:
+        print("--max-backlog must be at least 1", file=sys.stderr)
+        return 2
     if args.max_batch < 1:
         print("--max-batch must be at least 1", file=sys.stderr)
         return 2
@@ -690,7 +767,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     cache_size = 0 if args.no_cache else args.cache_size
     catalog = None
-    if Catalog.handles(args.path):
+    remote = None
+    if args.cluster is not None:
+        from .cluster import ClusterError, RemoteShardedIndex, Topology
+
+        try:
+            topology = Topology.load(args.cluster)
+            target = remote = RemoteShardedIndex.connect(topology)
+        except (FileNotFoundError, ValueError, ClusterError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    elif Catalog.handles(args.path):
         try:
             catalog = Catalog.load(args.path)
         except (FileNotFoundError, ValueError) as error:
@@ -716,6 +803,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                  max_open=args.max_open,
                                  cache_size=cache_size,
                                  cache_ttl=args.cache_ttl,
+                                 max_backlog=args.max_backlog,
                                  log_path=args.log_file)
         try:
             await server.start()
@@ -724,7 +812,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             # stale layout): refuse to start rather than 500 later.
             print(str(error), file=sys.stderr)
             return 2
-        if catalog is not None:
+        if remote is not None:
+            print(f"Serving distributed index ({len(remote)} entries, "
+                  f"{remote.n_shards} shard(s) across {remote.n_servers} "
+                  f"server(s) per {args.cluster}) on "
+                  f"http://{args.host}:{server.port} — POST /query, "
+                  f"GET /healthz, GET /stats", flush=True)
+        elif catalog is not None:
             names = ", ".join(entry.name for entry in catalog)
             cap = "all resident" if args.max_open is None \
                 else f"max {args.max_open} open"
@@ -759,6 +853,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return asyncio.run(_serve())
     except KeyboardInterrupt:  # pragma: no cover - signal-handler race
         pass
+    finally:
+        if remote is not None:
+            remote.close()
     return 0
 
 
@@ -916,12 +1013,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_clist.add_argument("dir", help="catalog directory")
     p_clist.set_defaults(func=cmd_catalog_list)
 
-    p_serve = sub.add_parser("serve", help="serve a saved index or a "
-                                           "catalog of them over HTTP "
+    p_shard = sub.add_parser("serve-shard", help="serve one cluster "
+                                                 "shard's partial-query "
+                                                 "surface over HTTP")
+    p_shard.add_argument("path", help="saved layout this box holds: a "
+                                      "single .npz shard or a sharded "
+                                      "directory of co-located shards")
+    p_shard.add_argument("--host", default="127.0.0.1")
+    p_shard.add_argument("--port", type=int, default=8100,
+                         help="listen port (0 picks an ephemeral port; "
+                              "default 8100)")
+    p_shard.add_argument("--no-mmap", action="store_true",
+                         help="read vector matrices eagerly instead of "
+                              "memory-mapping them")
+    p_shard.add_argument("--log-file", default=None,
+                         help="append an access/drain log to this file "
+                              "(default: $REPRO_SERVE_LOG if set)")
+    p_shard.set_defaults(func=cmd_serve_shard)
+
+    p_serve = sub.add_parser("serve", help="serve a saved index, a "
+                                           "catalog of them, or a cluster "
+                                           "of shard servers over HTTP "
                                            "(micro-batched, memory-mapped)")
-    p_serve.add_argument("path", help="saved index (.npz file or sharded "
-                                      "dir), e.g. out/tables, or a catalog "
-                                      "directory holding catalog.json")
+    p_serve.add_argument("path", nargs="?", default=None,
+                         help="saved index (.npz file or sharded "
+                              "dir), e.g. out/tables, or a catalog "
+                              "directory holding catalog.json "
+                              "(omit with --cluster)")
+    p_serve.add_argument("--cluster", default=None, metavar="TOPOLOGY",
+                         help="serve a distributed index instead of a "
+                              "local path: topology.json listing shard "
+                              "servers ({\"shards\": [{\"host\": ..., "
+                              "\"port\": ...}, ...]})")
+    p_serve.add_argument("--max-backlog", type=int, default=None,
+                         help="bound on queries pending in a micro-batch "
+                              "queue; overflow is answered 429 + "
+                              "Retry-After (default: unbounded)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080,
                          help="listen port (0 picks an ephemeral port; "

@@ -1,0 +1,62 @@
+"""Cluster failure taxonomy.
+
+Every failure the distributed tier can surface to a caller is one of
+these, and each carries the HTTP status a serving front-end should
+answer with (``http_status``) plus an optional ``Retry-After`` hint in
+seconds (``retry_after``).  The retrieval server maps them by duck
+typing — it never imports this module — so the serve layer stays below
+the cluster layer in the package graph while still turning a dead
+shard into a clean 503 instead of a 500.
+
+The load-bearing guarantee: a query that cannot be answered *exactly*
+raises — the coordinator never returns a half-merged ranking with one
+shard's contribution missing.
+"""
+
+from __future__ import annotations
+
+
+class ClusterError(RuntimeError):
+    """Base class for distributed-tier failures."""
+
+    #: Status a serving front-end should answer with.
+    http_status = 503
+    #: ``Retry-After`` hint (seconds); ``None`` means don't send one.
+    retry_after: int | None = 1
+
+
+class TopologyError(ClusterError, ValueError):
+    """A topology file or shard-set that cannot describe a cluster —
+    malformed JSON, empty shard list, bad address.  Configuration, not
+    runtime: surfaces at boot (CLI exit 2), never mid-query."""
+
+    http_status = 500
+    retry_after = None
+
+
+class ShardUnavailable(ClusterError):
+    """A shard server could not be reached (or kept timing out) after
+    the configured retries.  One clear error for the whole query — the
+    merge step never runs on a partial fan-out."""
+
+    def __init__(self, address: str, attempts: int, cause: BaseException):
+        super().__init__(
+            f"shard server {address} unavailable after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}: "
+            f"{cause.__class__.__name__}: {cause}")
+        self.address = address
+        self.attempts = attempts
+        self.cause = cause
+
+
+class ShardProtocolError(ClusterError):
+    """A shard server answered, but not with what the coordinator
+    asked for — wrong status, malformed JSON, mismatched shapes.
+    Retrying cannot help (the server is the wrong version or broken),
+    so this is terminal for the query."""
+
+    retry_after = None
+
+    def __init__(self, address: str, detail: str):
+        super().__init__(f"shard server {address}: {detail}")
+        self.address = address

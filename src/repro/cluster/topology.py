@@ -1,0 +1,130 @@
+"""Cluster topology: the ordered list of shard-server addresses.
+
+A topology file is JSON::
+
+    {
+      "shards": [
+        {"host": "127.0.0.1", "port": 9101},
+        {"host": "127.0.0.1", "port": 9102}
+      ]
+    }
+
+**Order is load-bearing.**  The coordinator flattens every server's
+local shards in topology order into one global shard list, and the
+scatter-gather merge runs over that list exactly as a local
+:class:`~repro.index.sharded.ShardedIndex` merges its own shards — so
+the topology order must list the servers in the same order their
+shards appear in the equivalent local layout.  Reordering the file
+reorders tie-breaking inputs and is a *different* cluster.
+
+Loading follows the repo's one-clear-``ValueError`` discipline: every
+way the file can be wrong raises :class:`~repro.cluster.errors.
+TopologyError` (a ``ValueError``) naming exactly what was wrong.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .errors import TopologyError
+
+
+@dataclass(frozen=True)
+class ShardAddress:
+    """One shard server's network address."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An ordered, validated set of shard-server addresses."""
+
+    shards: tuple[ShardAddress, ...]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    @classmethod
+    def from_addresses(cls, addresses) -> "Topology":
+        """Build from ``(host, port)`` pairs / ``ShardAddress`` objects
+        (the in-process harness path)."""
+        shards = []
+        for position, address in enumerate(addresses):
+            if not isinstance(address, ShardAddress):
+                host, port = address
+                address = ShardAddress(host, port)
+            _check_address(position, address.host, address.port)
+            shards.append(address)
+        if not shards:
+            raise TopologyError("topology has no shard servers")
+        return cls(tuple(shards))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Topology":
+        """Read and validate a topology file."""
+        path = Path(path)
+        if not path.is_file():
+            raise TopologyError(f"no topology file at {path}")
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise TopologyError(
+                f"{path} is not valid JSON: {error}") from None
+        if not isinstance(payload, dict) or "shards" not in payload:
+            raise TopologyError(
+                f"{path} must be a JSON object with a 'shards' list")
+        entries = payload["shards"]
+        if not isinstance(entries, list) or not entries:
+            raise TopologyError(
+                f"{path}: 'shards' must be a non-empty list of "
+                f"{{host, port}} objects")
+        shards = []
+        for position, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise TopologyError(
+                    f"{path}: shard {position} must be an object with "
+                    f"'host' and 'port'")
+            unknown = set(entry) - {"host", "port"}
+            if unknown:
+                raise TopologyError(
+                    f"{path}: shard {position} has unknown "
+                    f"field{'s' if len(unknown) > 1 else ''} "
+                    f"{sorted(unknown)}")
+            host = entry.get("host")
+            port = entry.get("port")
+            _check_address(position, host, port, source=str(path))
+            shards.append(ShardAddress(host, port))
+        return cls(tuple(shards))
+
+    def save(self, path: str | Path) -> Path:
+        """Write the topology file (harness/benchmark convenience)."""
+        path = Path(path)
+        path.write_text(json.dumps(
+            {"shards": [{"host": s.host, "port": s.port}
+                        for s in self.shards]}, indent=2) + "\n",
+            encoding="utf-8")
+        return path
+
+
+def _check_address(position: int, host, port, source: str | None = None
+                   ) -> None:
+    where = f"{source}: " if source else ""
+    if not isinstance(host, str) or not host:
+        raise TopologyError(
+            f"{where}shard {position}: 'host' must be a non-empty string, "
+            f"got {host!r}")
+    if (not isinstance(port, int) or isinstance(port, bool)
+            or not 1 <= port <= 65535):
+        raise TopologyError(
+            f"{where}shard {position}: 'port' must be an integer in "
+            f"[1, 65535], got {port!r}")

@@ -36,7 +36,7 @@ from .index import (
     load_index,
     read_saved_payload,
 )
-from .sharded import ShardedIndex, shard_of
+from .sharded import ShardedIndex, merge_shard_rankings, shard_of
 from .spec import IndexSpec
 from .store import DEFAULT_BATCH_SIZE, EmbeddingStore, StoreStats, default_workers
 
@@ -45,7 +45,7 @@ __all__ = [
     "EmbeddingStore", "StoreStats", "DEFAULT_BATCH_SIZE", "default_workers",
     "VectorIndex", "TableIndex", "ColumnIndex", "SearchHit", "load_index",
     "FORMAT_VERSION", "index_class",
-    "IndexSpec", "ShardedIndex", "shard_of",
+    "IndexSpec", "ShardedIndex", "shard_of", "merge_shard_rankings",
     "IndexBackend", "SingleFileBackend", "ShardedDirBackend",
     "open_index", "save_index", "read_index_spec", "read_saved_payload",
     "MANIFEST_NAME", "MANIFEST_VERSION",

@@ -72,6 +72,41 @@ def shard_of(key: str, n_shards: int) -> int:
     return int.from_bytes(digest, "big") % n_shards
 
 
+def merge_shard_rankings(rankings: list[list[SearchHit]],
+                         k: int) -> list[SearchHit]:
+    """Heap-merge per-shard hit rankings into one global top-k, deduping
+    keys (a manually assembled layout may hold one key in two shards).
+
+    Module-level because it is the *whole* reduce step of a fan-out
+    query: :class:`ShardedIndex` merges its local shards through it, and
+    :class:`~repro.cluster.coordinator.RemoteShardedIndex` merges shard-
+    server responses through the very same code — distributed results
+    are bit-identical to local ones by construction, not by parallel
+    reimplementation.  ``rankings`` must arrive in shard order; the
+    shard count is implied by ``len(rankings)``.
+    """
+    by_key: dict[str, SearchHit] = {}
+    for ranking in rankings:
+        for hit in ranking:
+            current = by_key.get(hit.key)
+            if current is None or hit.score > current.score:
+                by_key[hit.key] = hit
+    # Over-fetch when deduping could shrink the result: a key held by
+    # two shards (manually assembled layout) must count once, without
+    # costing a slot another key earned.
+    merged = merge_ranked([[(hit.key, hit.score) for hit in ranking]
+                           for ranking in rankings],
+                          k * len(rankings))
+    hits, seen = [], set()
+    for key, _score in merged:
+        if key not in seen:
+            seen.add(key)
+            hits.append(by_key[key])
+        if len(hits) == k:
+            break
+    return hits
+
+
 class ShardedIndex:
     """N spec-sharing shards behind the ``VectorIndex`` query/lifecycle
     surface."""
@@ -316,29 +351,9 @@ class ShardedIndex:
 
     def _merge_partials(self, rankings: list[list[SearchHit]],
                         k: int) -> list[SearchHit]:
-        """Heap-merge per-shard hit rankings into one global top-k,
-        deduping keys (a manually assembled layout may hold one key in
-        two shards)."""
-        by_key: dict[str, SearchHit] = {}
-        for ranking in rankings:
-            for hit in ranking:
-                current = by_key.get(hit.key)
-                if current is None or hit.score > current.score:
-                    by_key[hit.key] = hit
-        # Over-fetch when deduping could shrink the result: a key held by
-        # two shards (manually assembled layout) must count once, without
-        # costing a slot another key earned.
-        merged = merge_ranked([[(hit.key, hit.score) for hit in ranking]
-                               for ranking in rankings],
-                              k * len(self.shards))
-        hits, seen = [], set()
-        for key, _score in merged:
-            if key not in seen:
-                seen.add(key)
-                hits.append(by_key[key])
-            if len(hits) == k:
-                break
-        return hits
+        """The shared reduce step (:func:`merge_shard_rankings`); every
+        query path passes exactly one ranking per shard."""
+        return merge_shard_rankings(rankings, k)
 
     def query_vector(self, vector: np.ndarray, k: int = 10,
                      exclude: str | None = None,

@@ -35,7 +35,8 @@ import numpy as np
 
 
 def validate_dispatch_params(max_batch: int, max_wait_ms: float,
-                             jobs: int | None) -> None:
+                             jobs: int | None,
+                             max_backlog: int | None = None) -> None:
     """The dispatcher's constructor checks, callable up front — the
     catalog handle creates dispatchers lazily (one per index, on first
     use), so a bad knob must fail at server construction rather than at
@@ -46,6 +47,27 @@ def validate_dispatch_params(max_batch: int, max_wait_ms: float,
         raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
+    if max_backlog is not None and max_backlog < 1:
+        raise ValueError(f"max_backlog must be at least 1, "
+                         f"got {max_backlog}")
+
+
+class BacklogFull(RuntimeError):
+    """The dispatcher's pending queue is at ``max_backlog``: overload
+    must shed load (HTTP 429 + ``Retry-After``), not grow the queue
+    toward OOM.  The serving layer maps this by the ``http_status``
+    attribute, the same duck-typed contract cluster errors use."""
+
+    http_status = 429
+    retry_after = 1
+
+    def __init__(self, pending: int, max_backlog: int, n_queries: int):
+        super().__init__(
+            f"dispatcher backlog is full ({pending} queries pending, "
+            f"max_backlog={max_backlog}; this request carries "
+            f"{n_queries}) — retry shortly")
+        self.pending = pending
+        self.max_backlog = max_backlog
 
 
 class _Pending:
@@ -95,12 +117,23 @@ class MicroBatchDispatcher:
         shortlists for the semantic tier.  Cache state is only ever
         touched on the loop thread (lookup at submit, store at demux);
         the executor threads see plain index calls.
+    max_backlog:
+        Bound on the pending queue.  A request whose rows would push
+        the backlog past this raises :class:`BacklogFull` *before*
+        enqueuing anything (all-or-nothing — no partially admitted
+        requests), which the server answers as 429 + ``Retry-After``.
+        The check is conservative under caching: it counts the
+        request's full row count even though exact hits would never
+        join the queue — at rejection time the backlog is already
+        saturated, so protecting memory wins over admitting maybe-hits.
+        ``None`` (default) keeps the pre-backpressure behaviour:
+        unbounded.
     """
 
     def __init__(self, index, max_batch: int = 32,
                  max_wait_ms: float = 2.0, jobs: int | None = None,
-                 stats=None, engine=None):
-        validate_dispatch_params(max_batch, max_wait_ms, jobs)
+                 stats=None, engine=None, max_backlog: int | None = None):
+        validate_dispatch_params(max_batch, max_wait_ms, jobs, max_backlog)
         if engine is not None and engine.index is not index:
             raise ValueError("cache engine wraps a different index than "
                              "the dispatcher serves")
@@ -110,6 +143,9 @@ class MicroBatchDispatcher:
         self.jobs = jobs
         self.stats = stats
         self.engine = engine
+        self.max_backlog = max_backlog
+        #: Queries refused by backpressure (surfaced in ``/stats``).
+        self.rejected_total = 0
         self._pending: list[_Pending] = []
         self._timer: asyncio.TimerHandle | None = None
         self._inflight: set[asyncio.Task] = set()
@@ -140,7 +176,19 @@ class MicroBatchDispatcher:
         attached, exact hits resolve here without joining a tick;
         ``no_cache`` rows skip both tiers entirely (neither read nor
         written) and are counted as bypassed.
+
+        With ``max_backlog`` set, a request that would overflow the
+        pending queue raises :class:`BacklogFull` before touching any
+        state — the backpressure valve.
         """
+        if (self.max_backlog is not None
+                and len(self._pending) + len(matrix) > self.max_backlog):
+            pending = len(self._pending)
+            self.rejected_total += len(matrix)
+            # Hurry the queue along so the client's Retry-After has a
+            # fighting chance of being long enough.
+            self.flush_now()
+            raise BacklogFull(pending, self.max_backlog, len(matrix))
         loop = asyncio.get_running_loop()
         futures: list[asyncio.Future] = []
         engine = self.engine

@@ -164,11 +164,17 @@ async def read_request(reader: asyncio.StreamReader,
 
 def render_response(status: int, body: bytes,
                     content_type: str = "application/json",
-                    keep_alive: bool = True) -> bytes:
-    """Frame one HTTP/1.1 response as bytes."""
+                    keep_alive: bool = True,
+                    extra_headers: dict[str, str] | None = None) -> bytes:
+    """Frame one HTTP/1.1 response as bytes.  ``extra_headers`` adds
+    response headers beyond the framing trio (e.g. ``Retry-After`` on a
+    backpressure 429)."""
+    extras = "".join(f"{name}: {value}\r\n"
+                     for name, value in (extra_headers or {}).items())
     head = (f"HTTP/1.1 {status} {_reason(status)}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extras}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n")
     return head.encode("latin-1") + body

@@ -100,6 +100,7 @@ class RetrievalServer:
                  max_open: int | None = None,
                  cache_size: int = DEFAULT_CACHE_SIZE,
                  cache_ttl: float | None = None,
+                 max_backlog: int | None = None,
                  max_body: int = DEFAULT_MAX_BODY,
                  drain_timeout: float = 10.0,
                  log_path: str | Path | None = None):
@@ -120,9 +121,11 @@ class RetrievalServer:
         self.handle.configure_dispatch(stats=self.stats, max_batch=max_batch,
                                        max_wait_ms=max_wait_ms, jobs=jobs,
                                        cache_size=cache_size,
-                                       cache_ttl=cache_ttl)
+                                       cache_ttl=cache_ttl,
+                                       max_backlog=max_backlog)
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.max_backlog = max_backlog
         self._server: asyncio.Server | None = None
         self._connections: set[_Connection] = set()
         self._draining = False
@@ -271,8 +274,14 @@ class RetrievalServer:
                     status, payload, n_queries = 500, {"error": repr(error)}, 0
                 keep_alive = (request.keep_alive and not self._draining
                               and status < 500)
+                # Load-shed and unavailable answers carry a retry hint;
+                # the connection stays open (429 is the *point* of not
+                # melting down — the client should come right back).
+                extra = ({"Retry-After": "1"} if status in (429, 503)
+                         else None)
                 writer.write(render_response(status, json_body(payload),
-                                             keep_alive=keep_alive))
+                                             keep_alive=keep_alive,
+                                             extra_headers=extra))
                 await writer.drain()
                 latency = loop.time() - started
                 self.stats.record_response(status, latency,
@@ -318,7 +327,7 @@ class RetrievalServer:
             if request.method != "GET":
                 return 405, {"error": "/healthz takes GET"}, 0
             default = self.handle.get()
-            return 200, {
+            payload = {
                 "status": "ok",
                 "kind": default.index.kind,
                 "dim": default.index.dim,
@@ -329,7 +338,19 @@ class RetrievalServer:
                 "model_id": default.index.model_id,
                 "format_version": default.index.format_version,
                 "indexes": len(self.handle),
-            }, 0
+            }
+            # A distributed index (duck-typed: it knows its shards'
+            # health) gets a cluster section, and a partial outage
+            # flips the status to "degraded" — visible here before it
+            # surfaces as failed queries.
+            health = getattr(default.index, "shard_health", None)
+            if callable(health):
+                loop = asyncio.get_running_loop()
+                cluster = await loop.run_in_executor(None, health)
+                payload["cluster"] = cluster
+                if cluster["reachable"] < cluster["total"]:
+                    payload["status"] = "degraded"
+            return 200, payload, 0
         if request.target == "/indexes":
             if request.method != "GET":
                 return 405, {"error": "/indexes takes GET"}, 0
@@ -347,6 +368,10 @@ class RetrievalServer:
                                          for slot in open_slots),
                 "max_batch": self.max_batch,
                 "max_wait_ms": self.max_wait_ms,
+                "max_backlog": self.max_backlog,
+                # Queries shed by backpressure (each became a 429).
+                "rejected": sum(slot.dispatcher.rejected_total
+                                for slot in open_slots),
             }
             snapshot["indexes"] = {
                 slot.name: self._slot_stats(slot) for slot in self.handle}
@@ -413,8 +438,22 @@ class RetrievalServer:
                 payload, slot.index.dim)
         except ProtocolError as error:
             return error.status, {"error": error.message}, 0
-        results = await slot.dispatcher.submit_many(matrix, k, excludes,
-                                                    no_cache=no_cache)
+        try:
+            results = await slot.dispatcher.submit_many(matrix, k, excludes,
+                                                        no_cache=no_cache)
+        except Exception as error:
+            # Failures that know their own HTTP status — the
+            # dispatcher's BacklogFull (429: load shed, retry shortly)
+            # and the cluster tier's ShardUnavailable/ClusterError
+            # (503: a shard is down; the coordinator refused to serve
+            # a half-merged ranking).  Both are duck-typed so the serve
+            # layer needs no upward imports; anything else is a real
+            # bug and falls through to the generic 500 handler.
+            status = getattr(error, "http_status", None)
+            if status is None:
+                raise
+            self._log(f"query shed -> {status}: {error}")
+            return status, {"error": str(error)}, 0
         slot.stats.record_queries(len(results))
         if single:
             return 200, {"hits": format_hits(results[0])}, 1

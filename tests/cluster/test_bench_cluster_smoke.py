@@ -1,0 +1,57 @@
+"""Smoke test for the cluster benchmark harness.
+
+Runs ``benchmarks/bench_cluster.py`` at a miniature configuration —
+the harness asserts every coordinator ranking bit-equal to the local
+index *before* timing anything, so passing here means distributed ≡
+local held over real sockets with a real coordinator, shard servers
+and concurrent clients.  QPS *ordering* is deliberately not asserted
+(on one box the cluster pays loopback HTTP for zero parallelism); the
+tracked ``results/BENCH_cluster.json`` carries the full-scale numbers.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def load_module(name: str):
+    spec = importlib.util.spec_from_file_location(name,
+                                                  BENCH_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_cluster_smoke(tmp_path):
+    bench = load_module("bench_cluster")
+    report = bench.run(n_vectors=300, dim=16, n_queries=24, k=5,
+                       n_clients=2, server_counts=(1, 2), n_shards=2,
+                       max_backlog=2, overload_rows=(1, 8),
+                       workdir=tmp_path)
+    assert report["benchmark"] == "cluster"
+    modes = [(r["op"], r["mode"]) for r in report["results"]]
+    assert modes == [("serve", "in-process"),
+                     ("serve", "cluster(servers=1)"),
+                     ("serve", "cluster(servers=2)"),
+                     ("overload", "rows/request=1"),
+                     ("overload", "rows/request=8")]
+    for record in report["results"]:
+        if record["op"] == "serve":
+            assert record["seconds"] >= 0
+            assert record["qps"] > 0
+            assert record["n"] == 24
+    # The knee: single-row requests fit a backlog of 2 at least
+    # sometimes; 8-row requests can never fit and are all shed.
+    waves = {r["mode"]: r for r in report["results"]
+             if r["op"] == "overload"}
+    assert waves["rows/request=8"]["ok"] == 0
+    assert waves["rows/request=8"]["shed"] > 0
+    assert waves["rows/request=8"]["shed_rate"] == 1.0
+    assert waves["rows/request=1"]["ok"] > 0
+    # JSON-serializable, as the BENCH_*.json tracking requires.
+    (tmp_path / "BENCH_cluster.json").write_text(json.dumps(report))
+    text = bench.render(report).to_text()
+    assert "in-process" in text and "cluster(servers=2)" in text
+    assert "shed" in text

@@ -1,0 +1,62 @@
+"""Topology file handling: load/save round-trip and one clear error
+per way a hand-edited topology.json can be wrong."""
+
+import json
+
+import pytest
+
+from repro.cluster import ShardAddress, Topology, TopologyError
+
+
+def test_round_trip(tmp_path):
+    topology = Topology.from_addresses([("127.0.0.1", 8100),
+                                        ("10.0.0.7", 8101)])
+    path = topology.save(tmp_path / "topology.json")
+    loaded = Topology.load(path)
+    assert list(loaded) == list(topology)
+    assert [str(address) for address in loaded] == ["127.0.0.1:8100",
+                                                    "10.0.0.7:8101"]
+
+
+def test_order_is_preserved(tmp_path):
+    """Topology order is load-bearing: it defines the flat shard
+    sequence the coordinator merges in."""
+    addresses = [("h3", 3), ("h1", 1), ("h2", 2)]
+    loaded = Topology.load(
+        Topology.from_addresses(addresses).save(tmp_path / "t.json"))
+    assert [(a.host, a.port) for a in loaded] == addresses
+
+
+def test_shard_address_str():
+    assert str(ShardAddress("box", 9000)) == "box:9000"
+
+
+@pytest.mark.parametrize("payload, fragment", [
+    ("not json {", "JSON"),
+    (json.dumps([1, 2]), "object"),
+    (json.dumps({}), "shards"),
+    (json.dumps({"shards": []}), "non-empty"),
+    (json.dumps({"shards": "nope"}), "list"),
+    (json.dumps({"shards": [{"host": "h"}]}), "port"),
+    (json.dumps({"shards": [{"port": 1}]}), "host"),
+    (json.dumps({"shards": [{"host": 1, "port": 1}]}), "host"),
+    (json.dumps({"shards": [{"host": "h", "port": "x"}]}), "port"),
+    (json.dumps({"shards": [{"host": "h", "port": 0}]}), "port"),
+    (json.dumps({"shards": [{"host": "h", "port": 1, "x": 2}]}), "unknown"),
+])
+def test_bad_files_fail_with_one_clear_error(tmp_path, payload, fragment):
+    path = tmp_path / "topology.json"
+    path.write_text(payload)
+    with pytest.raises((TopologyError, ValueError)) as excinfo:
+        Topology.load(path)
+    assert fragment.lower() in str(excinfo.value).lower()
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(TopologyError, match="no topology file"):
+        Topology.load(tmp_path / "absent.json")
+
+
+def test_empty_from_addresses():
+    with pytest.raises(TopologyError, match="no shard servers"):
+        Topology.from_addresses([])

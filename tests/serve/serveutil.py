@@ -58,6 +58,21 @@ def http_request(port: int, method: str, path: str, body: bytes | None = None,
         conn.close()
 
 
+def http_request_full(port: int, method: str, path: str,
+                      body: bytes | None = None, timeout: float = 30.0):
+    """Like :func:`http_request` but returns ``(status, headers,
+    bytes)`` — for tests that assert on response headers (e.g. the
+    backpressure layer's ``Retry-After``)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
 def post_query(port: int, payload: dict, timeout: float = 30.0):
     """POST /query with a JSON payload; returns ``(status, parsed)``."""
     status, data = http_request(port, "POST", "/query",
