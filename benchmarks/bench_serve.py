@@ -29,6 +29,12 @@ to a cached band-key tuple, so the semantic tier carries the load).
 Every stream's served rankings are asserted identical to offline
 ``query_many`` *before* any timing is recorded.
 
+``--prefork`` runs the *pre-fork fleet* workload instead (→
+``results/BENCH_prefork.json``): ``serve --workers N`` booted through
+the real CLI at fleet sizes 1/2/4, each gated on the same served ≡
+offline equivalence before timing, with summed worker RSS and PSS
+from ``/proc`` recording the mmap page-sharing story.
+
 NB: on a single-core box the micro-batch win comes from shaving
 per-request Python/GEMM dispatch overhead, not from parallelism; both
 effects grow with real traffic and real hardware.
@@ -269,6 +275,175 @@ def run_cache(n_vectors: int = 20000, dim: int = 64, pool_size: int = 240,
     }
 
 
+def _fleet_mem_mb(pids: list[int]) -> dict:
+    """Summed resident memory of ``pids`` from ``/proc``: ``rss_mb``
+    (naive sum — double-counts pages shared between workers) and
+    ``pss_mb`` (proportional set size — each shared page split across
+    its mappers, the honest fleet total).  ``None`` where the platform
+    lacks the files."""
+    rss_kb, pss_kb, pss_seen = 0, 0, False
+    for pid in pids:
+        try:
+            with open(f"/proc/{pid}/status") as handle:
+                for line in handle:
+                    if line.startswith("VmRSS:"):
+                        rss_kb += int(line.split()[1])
+                        break
+        except OSError:
+            return {"rss_mb": None, "pss_mb": None}
+        try:
+            with open(f"/proc/{pid}/smaps_rollup") as handle:
+                for line in handle:
+                    if line.startswith("Pss:"):
+                        pss_kb += int(line.split()[1])
+                        pss_seen = True
+                        break
+        except OSError:
+            pass
+    return {"rss_mb": rss_kb / 1024.0,
+            "pss_mb": pss_kb / 1024.0 if pss_seen else None}
+
+
+def run_prefork(n_vectors: int = 20000, dim: int = 64,
+                n_queries: int = 240, k: int = 10, n_clients: int = 8,
+                worker_counts: tuple[int, ...] = (1, 2, 4),
+                n_shards: int = 5, seed: int = 0,
+                workdir: str | Path | None = None) -> dict:
+    """Pre-fork serving (``serve --workers N``) at each fleet size.
+
+    Each fleet boots through the real CLI, exactly as an operator
+    would.  Before any timing, a full equivalence pass asserts every
+    ranking served by the fleet — whatever worker the kernel hands
+    each connection to — is bit-identical to the offline
+    ``query_many`` result; ``_hammer`` refuses to return timings
+    otherwise.  The timed pass then runs with the result cache OFF so
+    the numbers measure dispatch + GEMM, not cache hits, and the
+    per-process memory is read from ``/proc`` (RSS naively summed,
+    plus PSS, which shows the mmap page-sharing across workers).
+
+    Honesty note recorded in the report: on a single-CPU container the
+    workers serialize on the one core, so QPS stays flat or dips as
+    workers grow (context-switch overhead with zero added parallelism)
+    — the fleet sizes are exercised for correctness and memory shape
+    there, not speedup.
+    """
+    import os
+    import signal
+    import subprocess
+    import sys
+    import tempfile
+
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n_vectors, dim))
+    queries = rng.standard_normal((n_queries, dim))
+    keys = [f"k{i:06d}" for i in range(n_vectors)]
+    records = []
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(workdir) if workdir is not None else Path(scratch)
+        path = _save_layout(root, keys, vectors, n_shards, seed)
+        offline = open_index(path)
+        want = [[(hit.key, hit.score) for hit in hits]
+                for hits in offline.query_many(queries, k=k)]
+
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[1] / "src"
+        env["PYTHONPATH"] = (str(src) + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        for workers in worker_counts:
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "serve", str(path),
+                 "--port", "0", "--workers", str(workers),
+                 "--max-batch", "64", "--max-wait-ms", "1",
+                 "--no-cache"],
+                env=env, stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE, text=True)
+            try:
+                banner = process.stdout.readline()
+                port = int(banner.split("http://127.0.0.1:")[1]
+                           .split()[0])
+                deadline = time.perf_counter() + 30
+                while time.perf_counter() < deadline:
+                    try:
+                        conn = http.client.HTTPConnection(
+                            "127.0.0.1", port, timeout=2)
+                        conn.request("GET", "/healthz")
+                        ok = conn.getresponse().status == 200
+                        conn.close()
+                        if ok:
+                            break
+                    except OSError:
+                        time.sleep(0.05)
+                # Equivalence gate (and warm-up): every fleet member's
+                # rankings must match offline before we time anything.
+                _hammer(port, queries, k, n_clients, want)
+                seconds = _hammer(port, queries, k, n_clients, want)
+
+                if workers > 1:
+                    conn = http.client.HTTPConnection("127.0.0.1", port,
+                                                      timeout=30)
+                    conn.request("GET", "/stats")
+                    stats = json.loads(conn.getresponse().read())
+                    conn.close()
+                    pids = [section["pid"] for section
+                            in stats["workers"].values()]
+                else:
+                    pids = [process.pid]
+                memory = _fleet_mem_mb(pids)
+                records.append({
+                    "op": "serve", "mode": f"prefork(workers={workers})",
+                    "layout": f"shards={n_shards}", "n": n_queries,
+                    "workers": workers, "seconds": seconds,
+                    "qps": n_queries / seconds if seconds else None,
+                    "rss_mb": memory["rss_mb"],
+                    "pss_mb": memory["pss_mb"],
+                })
+            finally:
+                process.send_signal(signal.SIGTERM)
+                _stdout, stderr = process.communicate(timeout=60)
+            if process.returncode != 0:
+                raise AssertionError(
+                    f"fleet (workers={workers}) exited "
+                    f"{process.returncode}: {stderr[-500:]}")
+
+    return {
+        "benchmark": "serve-prefork",
+        "config": {"n_vectors": n_vectors, "dim": dim,
+                   "n_queries": n_queries, "k": k,
+                   "n_clients": n_clients, "n_shards": n_shards,
+                   "worker_counts": list(worker_counts), "seed": seed,
+                   "cpus": os.cpu_count()},
+        "note": ("equivalence asserted before timing: every ranking "
+                 "served by any worker is bit-identical to offline "
+                 "query_many; on a 1-CPU container QPS stays flat or "
+                 "dips as workers grow (they serialize on the one core "
+                 "and pay context-switch overhead) — fleet sizes "
+                 "exercise correctness and memory shape there, not "
+                 "speedup; PSS < summed RSS is the mmap page-sharing "
+                 "across workers"),
+        "results": records,
+    }
+
+
+def render_prefork(report: dict) -> ResultsTable:
+    config = report["config"]
+    out = ResultsTable(
+        f"Pre-fork serving: {config['n_vectors']} vectors (dim "
+        f"{config['dim']}), {config['n_queries']} queries @ "
+        f"k={config['k']}, {config['n_clients']} clients, "
+        f"{config['cpus']} cpu(s)",
+        columns=["seconds", "qps", "rss MB", "pss MB"])
+    for rec in report["results"]:
+        row = f"{rec['layout']} {rec['mode']}"
+        out.add(row, "seconds", f"{rec['seconds']:.3f}")
+        out.add(row, "qps", f"{rec['qps']:.1f}" if rec["qps"] else "-")
+        if rec.get("rss_mb") is not None:
+            out.add(row, "rss MB", f"{rec['rss_mb']:.1f}")
+        if rec.get("pss_mb") is not None:
+            out.add(row, "pss MB", f"{rec['pss_mb']:.1f}")
+    return out
+
+
 def render_cache(report: dict) -> ResultsTable:
     config = report["config"]
     out = ResultsTable(
@@ -315,8 +490,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the result-cache workload (zipfian/"
                              "uniform/near-dupe streams, cache on vs off) "
                              "instead of the dispatch benchmark")
+    parser.add_argument("--prefork", action="store_true",
+                        help="run the pre-fork fleet workload (serve "
+                             "--workers at 1/2/4, equivalence-gated, "
+                             "QPS + RSS/PSS per fleet size) instead of "
+                             "the dispatch benchmark")
     args = parser.parse_args(argv)
-    if args.zipfian:
+    if args.prefork:
+        report = run_prefork()
+        render_prefork(report).show()
+        path = results_dir() / "BENCH_prefork.json"
+    elif args.zipfian:
         report = run_cache()
         render_cache(report).show()
         path = results_dir() / "BENCH_cache.json"

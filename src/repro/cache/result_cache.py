@@ -81,7 +81,16 @@ class TTLCache:
         return len(self._data)
 
     def __contains__(self, key) -> bool:
-        return self.get(key) is not None
+        """Side-effect-free membership probe: no recency bump, no lazy
+        expiry sweep, no counter mutation.  An expired-but-unswept
+        entry reports absent while staying in place for ``get`` to
+        reap — ``x in cache`` must never change what a subsequent
+        eviction or ``get`` does."""
+        entry = self._data.get(key)
+        if entry is None:
+            return False
+        expires_at, _value = entry
+        return expires_at is None or self._clock() < expires_at
 
     def get(self, key):
         """The cached value, or ``None`` on miss/expiry.  A hit moves

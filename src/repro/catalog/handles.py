@@ -22,6 +22,19 @@ per entry.
 Everything here runs on the server's event-loop thread (the same
 single-writer discipline as :class:`~repro.serve.stats.ServerStats`),
 so no locks are needed.
+
+**Per-process by construction.**  Under pre-fork serving
+(``serve --workers N``, :mod:`repro.serve.prefork`) every worker
+builds its own ``CatalogHandle`` *after* the fork, so slots,
+dispatchers, result caches, LRU-eviction state, and counters are all
+strictly per-worker: a cache entry populated in one worker is never
+visible in another, one worker's eviction decision cannot close a
+sibling's index, and dispatcher queues never interleave queries from
+two processes.  Nothing in this module is fork-aware and nothing needs
+to be — there is no shared mutable state to protect.  What *is* shared
+across workers is the read-only layer underneath: the mmapped shard
+files, whose pages the kernel cache keeps resident exactly once for
+the whole fleet.  Pinned by ``tests/catalog/test_worker_isolation.py``.
 """
 
 from __future__ import annotations

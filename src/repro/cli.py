@@ -85,6 +85,39 @@ from .eval import (
 )
 
 
+#: Count-like flags share one positivity rule; messages live here —
+#: word-for-word what the historical per-command copies printed (tests
+#: pin them) — so no subcommand's wording can drift from the others.
+_COUNT_FLAG_MESSAGES = {
+    "workers": "--workers must be positive",
+    "jobs": "--jobs must be positive",
+    "shards": "--shards must be at least 1",
+    "k": "-k/--k must be at least 1",
+    "chunk": "--chunk must be at least 1",
+    "max_batch": "--max-batch must be at least 1",
+    "max_open": "--max-open must be at least 1",
+    "max_backlog": "--max-backlog must be at least 1",
+}
+
+
+def _validate_counts(args: argparse.Namespace, *names: str) -> int:
+    """Shared validation for the count-like flags (``--jobs``,
+    ``--workers``, ``-k``, ...): each must be >= 1 when given (``None``
+    means the flag was omitted and is fine).  Prints one stderr line
+    per offending flag and returns 2; returns 0 when all pass.  This
+    used to be copy-pasted at three call sites, which is exactly how
+    ``serve --workers`` could have drifted from ``index build
+    --workers`` — every exit-2 path now runs through here and is
+    covered by one parametrized test (tests/test_cli_validation.py)."""
+    code = 0
+    for name in names:
+        value = getattr(args, name, None)
+        if value is not None and value < 1:
+            print(_COUNT_FLAG_MESSAGES[name], file=sys.stderr)
+            code = 2
+    return code
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("dataset", choices=sorted(PROFILES),
                         help="which generated corpus to use")
@@ -194,15 +227,8 @@ def cmd_index_build(args: argparse.Namespace) -> int:
 
     from .index import ColumnIndex, TableIndex, save_index
 
-    if args.workers is not None and args.workers <= 0:
-        # Validate before the (expensive) train/load step.
-        print("--workers must be positive", file=sys.stderr)
-        return 2
-    if args.shards is not None and args.shards < 1:
-        print("--shards must be at least 1", file=sys.stderr)
-        return 2
-    if args.jobs is not None and args.jobs <= 0:
-        print("--jobs must be positive", file=sys.stderr)
+    # Validate before the (expensive) train/load step.
+    if _validate_counts(args, "workers", "shards", "jobs"):
         return 2
     if args.jobs is not None and args.shards is None:
         print("--jobs fans per-shard builds, so it requires --shards",
@@ -394,14 +420,7 @@ def cmd_index_query(args: argparse.Namespace) -> int:
 
     from .index import open_index
 
-    if args.k < 1:
-        print("-k/--k must be at least 1", file=sys.stderr)
-        return 2
-    if args.jobs is not None and args.jobs <= 0:
-        print("--jobs must be positive", file=sys.stderr)
-        return 2
-    if args.chunk < 1:
-        print("--chunk must be at least 1", file=sys.stderr)
+    if _validate_counts(args, "k", "jobs", "chunk"):
         return 2
     if args.batch is not None:
         return _run_batch_query(args)
@@ -718,6 +737,124 @@ def cmd_serve_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_prefork(args: argparse.Namespace, cache_size: int) -> int:
+    """``serve --workers N``: a pre-fork supervisor plus N worker
+    processes on one shared port.
+
+    The parent validates the target *cheaply* (manifest/spec reads
+    only — no vector data, no thread pools, nothing unsafe to fork
+    over), binds the listen address once so ``--port 0`` resolves to a
+    single shared port, then forks.  Each worker re-opens the target
+    itself — memory-mapped unless ``--no-mmap``, so all workers map the
+    same shard files and the kernel page cache keeps **one** resident
+    copy of the vectors — and runs the ordinary
+    :class:`~repro.serve.server.RetrievalServer` with its own caches
+    and dispatchers.  SIGTERM/SIGINT drain every worker gracefully; a
+    crashed worker is restarted with capped backoff; ``GET /stats``
+    answers with per-worker sections plus a fleet aggregate.
+    """
+    import asyncio
+    import os
+    import signal
+
+    from .catalog import Catalog
+    from .index import read_index_spec
+    from .serve import LOG_ENV, RetrievalServer
+    from .serve.prefork import REUSEPORT_AVAILABLE, PreforkSupervisor
+
+    is_catalog = Catalog.handles(args.path)
+    if is_catalog:
+        try:
+            catalog = Catalog.load(args.path)
+        except (FileNotFoundError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        if not len(catalog):
+            print(f"{args.path} is an empty catalog; register indexes "
+                  f"with `catalog add` before serving", file=sys.stderr)
+            return 2
+        described = (f"catalog of {len(catalog)} indexes "
+                     f"(default {catalog.default_name!r})")
+    else:
+        try:
+            spec, _version = read_index_spec(args.path)
+        except (FileNotFoundError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        described = f"{spec.kind} index"
+
+    log_base = args.log_file or os.environ.get(LOG_ENV) or None
+
+    def worker_main(worker_id: int, sock) -> int:
+        # Runs in the forked child: the target, the server, and every
+        # cache/dispatcher are built HERE, post-fork, so workers share
+        # nothing but the listen port and the mmapped file pages.
+        from .index import open_index
+
+        try:
+            if is_catalog:
+                target = Catalog.load(args.path)
+            else:
+                target = open_index(args.path, mmap=not args.no_mmap)
+        except (FileNotFoundError, ValueError) as error:
+            # Exit code 2 is the supervisor's fatal-config signal: a
+            # target that won't open can never open on restart either,
+            # so the fleet shuts down instead of crash-looping.
+            print(f"worker {worker_id}: {error}", file=sys.stderr)
+            return 2
+        log_path = (f"{log_base}.worker{worker_id}" if log_base else None)
+
+        async def _run() -> int:
+            server = RetrievalServer(
+                target, host=args.host, sock=sock,
+                max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+                jobs=args.jobs, mmap=not args.no_mmap,
+                max_open=args.max_open, cache_size=cache_size,
+                cache_ttl=args.cache_ttl, max_backlog=args.max_backlog,
+                worker_id=worker_id, stats_dir=supervisor.stats_dir,
+                log_path=log_path)
+            try:
+                await server.start()
+            except (FileNotFoundError, ValueError) as error:
+                # Exit code 2 is the supervisor's fatal-config signal:
+                # it shuts the fleet down instead of crash-looping.
+                print(f"worker {worker_id}: {error}", file=sys.stderr)
+                return 2
+            loop = asyncio.get_running_loop()
+            stop = asyncio.Event()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except NotImplementedError:  # pragma: no cover - non-posix
+                    pass
+            await stop.wait()
+            await server.shutdown()
+            return 0
+
+        return asyncio.run(_run())
+
+    supervisor = PreforkSupervisor(worker_main, args.workers,
+                                   host=args.host, port=args.port)
+    try:
+        supervisor.start()
+    except OSError as error:
+        print(f"cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    mode = ("SO_REUSEPORT" if REUSEPORT_AVAILABLE
+            else "shared inherited socket")
+    print(f"Serving {described} with {args.workers} pre-fork workers "
+          f"({mode}, {'mmap' if not args.no_mmap else 'eager'} pages "
+          f"shared via page cache) on "
+          f"http://{args.host}:{supervisor.port} — POST /query, "
+          f"GET /healthz, GET /stats (per-worker + aggregate)",
+          flush=True)
+    code = supervisor.run()
+    print(f"All {args.workers} workers drained "
+          f"({supervisor.restarts_total} restart(s))", flush=True)
+    return code
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``serve``: run the async retrieval server.
 
@@ -742,20 +879,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("serve takes exactly one target: a saved index / catalog "
               "path, or --cluster topology.json", file=sys.stderr)
         return 2
-    if args.max_backlog is not None and args.max_backlog < 1:
-        print("--max-backlog must be at least 1", file=sys.stderr)
-        return 2
-    if args.max_batch < 1:
-        print("--max-batch must be at least 1", file=sys.stderr)
+    if _validate_counts(args, "workers", "jobs", "max_batch", "max_open",
+                        "max_backlog"):
         return 2
     if args.max_wait_ms < 0:
         print("--max-wait-ms must be >= 0", file=sys.stderr)
-        return 2
-    if args.jobs is not None and args.jobs <= 0:
-        print("--jobs must be positive", file=sys.stderr)
-        return 2
-    if args.max_open is not None and args.max_open < 1:
-        print("--max-open must be at least 1", file=sys.stderr)
         return 2
     if args.cache_size < 0:
         print("--cache-size must be >= 0 (0 disables the cache)",
@@ -766,6 +894,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     cache_size = 0 if args.no_cache else args.cache_size
+    if args.workers > 1:
+        if args.cluster is not None:
+            print("--workers pre-forks local serving and cannot combine "
+                  "with --cluster; run one coordinator process per port "
+                  "instead", file=sys.stderr)
+            return 2
+        return _serve_prefork(args, cache_size)
     catalog = None
     remote = None
     if args.cluster is not None:
@@ -1049,6 +1184,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bound on queries pending in a micro-batch "
                               "queue; overflow is answered 429 + "
                               "Retry-After (default: unbounded)")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="pre-fork this many worker processes "
+                              "sharing the listen port (SO_REUSEPORT "
+                              "where the platform has it, a shared "
+                              "inherited socket elsewhere) and — via "
+                              "mmap — the same resident vector pages; "
+                              "crashed workers restart with capped "
+                              "backoff; 1 (default) serves single-"
+                              "process with no supervisor")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080,
                          help="listen port (0 picks an ephemeral port; "

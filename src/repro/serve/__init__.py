@@ -28,6 +28,15 @@ from .protocol import (
     read_request,
     render_response,
 )
+from .prefork import (
+    REUSEPORT_AVAILABLE,
+    PreforkSupervisor,
+    RestartBackoff,
+    aggregate_worker_stats,
+    bind_socket,
+    read_worker_stats,
+    write_worker_stats,
+)
 from .server import LOG_ENV, RetrievalServer, ServerThread
 from .stats import ServerStats
 
@@ -37,4 +46,7 @@ __all__ = [
     "render_response", "parse_query_payload", "parse_json_object",
     "index_route", "no_cache_flag", "validate_dispatch_params",
     "DEFAULT_MAX_BODY", "LOG_ENV",
+    "PreforkSupervisor", "RestartBackoff", "REUSEPORT_AVAILABLE",
+    "bind_socket", "write_worker_stats", "read_worker_stats",
+    "aggregate_worker_stats",
 ]

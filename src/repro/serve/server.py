@@ -103,7 +103,10 @@ class RetrievalServer:
                  max_backlog: int | None = None,
                  max_body: int = DEFAULT_MAX_BODY,
                  drain_timeout: float = 10.0,
-                 log_path: str | Path | None = None):
+                 log_path: str | Path | None = None,
+                 sock=None, worker_id: int | None = None,
+                 stats_dir: str | Path | None = None,
+                 stats_flush_interval: float = 0.25):
         if isinstance(target, CatalogHandle):
             self.handle = target
         elif isinstance(target, Catalog):
@@ -130,6 +133,15 @@ class RetrievalServer:
         self._connections: set[_Connection] = set()
         self._draining = False
         self._stopped = asyncio.Event()
+        # Pre-fork wiring: an already-bound listen socket (the worker's
+        # SO_REUSEPORT socket, or the supervisor's inherited one — see
+        # repro.serve.prefork), this worker's fleet id, and the shared
+        # stats directory it publishes its counters into.
+        self._sock = sock
+        self._worker_id = worker_id
+        self._stats_dir = None if stats_dir is None else Path(stats_dir)
+        self._stats_flush_interval = stats_flush_interval
+        self._stats_task: asyncio.Task | None = None
         if log_path is None:
             log_path = os.environ.get(LOG_ENV) or None
         self._log_path = None if log_path is None else Path(log_path)
@@ -154,9 +166,11 @@ class RetrievalServer:
     @property
     def port(self) -> int:
         """The bound port (resolves ``port=0`` to the ephemeral pick)."""
-        if self._server is None:
-            return self._requested_port
-        return self._server.sockets[0].getsockname()[1]
+        if self._server is not None:
+            return self._server.sockets[0].getsockname()[1]
+        if self._sock is not None:
+            return self._sock.getsockname()[1]
+        return self._requested_port
 
     async def start(self) -> None:
         if self._log_path is not None:
@@ -166,9 +180,20 @@ class RetrievalServer:
         # its default index should fail to start, not 500 later, and
         # /healthz answers from it without lazy-open surprises.
         default = self.handle.get()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port,
-            limit=STREAM_LIMIT)
+        if self._sock is not None:
+            # Pre-fork worker: adopt the already-bound socket
+            # (asyncio calls listen on it).
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock,
+                limit=STREAM_LIMIT)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self._requested_port,
+                limit=STREAM_LIMIT)
+        if self._stats_dir is not None:
+            self._publish_stats()
+            self._stats_task = asyncio.get_running_loop().create_task(
+                self._stats_flush_loop())
         self._log(f"serving kind={default.index.kind} "
                   f"dim={default.index.dim} "
                   f"entries={len(default.index)} on "
@@ -214,6 +239,15 @@ class RetrievalServer:
         for connection in list(self._connections):
             self._log("drain timeout: force-closing a connection")
             connection.writer.close()
+        if self._stats_task is not None:
+            self._stats_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._stats_task
+            self._stats_task = None
+        if self._stats_dir is not None:
+            # Final counters outlive the worker: the fleet /stats keeps
+            # an accurate total across graceful worker exits.
+            self._publish_stats()
         self._log(f"stopped after {self.stats.requests_total} requests / "
                   f"{self.stats.queries_total} queries")
         if self._log_handle is not None:
@@ -339,6 +373,11 @@ class RetrievalServer:
                 "format_version": default.index.format_version,
                 "indexes": len(self.handle),
             }
+            if self._worker_id is not None:
+                # Which fleet member answered — lets a client (and the
+                # prefork tests) observe accept distribution.
+                payload["worker_id"] = self._worker_id
+                payload["pid"] = os.getpid()
             # A distributed index (duck-typed: it knows its shards'
             # health) gets a cluster section, and a partial outage
             # flips the status to "degraded" — visible here before it
@@ -359,24 +398,82 @@ class RetrievalServer:
         if request.target == "/stats":
             if request.method != "GET":
                 return 405, {"error": "/stats takes GET"}, 0
-            snapshot = self.stats.snapshot()
-            open_slots = self.handle.open_slots()
-            snapshot["dispatcher"] = {
-                "pending": sum(slot.dispatcher.n_pending
-                               for slot in open_slots),
-                "in_flight_batches": sum(slot.dispatcher.n_inflight
-                                         for slot in open_slots),
-                "max_batch": self.max_batch,
-                "max_wait_ms": self.max_wait_ms,
-                "max_backlog": self.max_backlog,
-                # Queries shed by backpressure (each became a 429).
-                "rejected": sum(slot.dispatcher.rejected_total
-                                for slot in open_slots),
-            }
-            snapshot["indexes"] = {
-                slot.name: self._slot_stats(slot) for slot in self.handle}
-            return 200, snapshot, 0
+            if self._stats_dir is not None:
+                return 200, self._fleet_stats(), 0
+            return 200, self._stats_payload(), 0
         return 404, {"error": f"no route {request.target!r}"}, 0
+
+    def _stats_payload(self) -> dict:
+        """This process's ``/stats`` body: counters, latency shape,
+        dispatcher backlog, per-index sections.  Also what a pre-fork
+        worker publishes into its stats file."""
+        snapshot = self.stats.snapshot()
+        open_slots = self.handle.open_slots()
+        snapshot["dispatcher"] = {
+            "pending": sum(slot.dispatcher.n_pending
+                           for slot in open_slots),
+            "in_flight_batches": sum(slot.dispatcher.n_inflight
+                                     for slot in open_slots),
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "max_backlog": self.max_backlog,
+            # Queries shed by backpressure (each became a 429).
+            "rejected": sum(slot.dispatcher.rejected_total
+                            for slot in open_slots),
+        }
+        snapshot["indexes"] = {
+            slot.name: self._slot_stats(slot) for slot in self.handle}
+        return snapshot
+
+    def _publish_stats(self) -> None:
+        """Atomically write this worker's stats file (see
+        ``repro.serve.prefork``)."""
+        from .prefork import write_worker_stats
+        record = {
+            "worker_id": self._worker_id,
+            "pid": os.getpid(),
+            "updated_at": time.time(),
+            "stats": self._stats_payload(),
+            "latencies": self.stats.latencies(),
+        }
+        try:
+            write_worker_stats(self._stats_dir, self._worker_id, record)
+        except OSError:
+            # The stats dir tearing down mid-drain is not worth dying
+            # over; /stats degrades to the sections that exist.
+            pass
+
+    async def _stats_flush_loop(self) -> None:
+        """Keep this worker's stats file at most one interval stale so
+        whichever sibling answers ``/stats`` sees near-live counters;
+        idle workers skip the rewrite."""
+        last_marker = None
+        while True:
+            await asyncio.sleep(self._stats_flush_interval)
+            marker = (self.stats.requests_total, self.stats.queries_total)
+            if marker != last_marker:
+                self._publish_stats()
+                last_marker = marker
+
+    def _fleet_stats(self) -> dict:
+        """The pre-fork fleet view of ``/stats``: this worker publishes
+        a fresh record of itself, reads every sibling's file, and rolls
+        them up.  Peer sections are at most one flush interval stale —
+        each carries its ``updated_at`` saying exactly how stale."""
+        from .prefork import aggregate_worker_stats, read_worker_stats
+        self._publish_stats()
+        records = read_worker_stats(self._stats_dir)
+        workers = {}
+        for worker_id, record in sorted(records.items()):
+            section = dict(record.get("stats", {}))
+            section["pid"] = record.get("pid")
+            section["updated_at"] = record.get("updated_at")
+            workers[str(worker_id)] = section
+        return {
+            "worker_id": self._worker_id,
+            "workers": workers,
+            "aggregate": aggregate_worker_stats(records),
+        }
 
     def _slot_stats(self, slot) -> dict:
         """One entry's ``/stats`` section: lifetime counters plus, while

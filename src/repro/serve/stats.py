@@ -11,25 +11,31 @@ current load, not the average since boot.
 
 from __future__ import annotations
 
+import math
 import time
 from collections import Counter, deque
 
 
 def percentile(values: list[float], q: float) -> float | None:
-    """Nearest-rank percentile of ``values`` (``q`` in [0, 1])."""
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 1]): the
+    ``ceil(q * n)``-th smallest value (1-indexed), clamped into range.
+    Truncating instead of taking the ceiling would shift every rank up
+    one on small reservoirs — p50 of ``[1, 2]`` must be 1, not 2."""
     if not values:
         return None
     ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
     return ordered[rank]
 
 
 class ServerStats:
     """Counters + reservoirs behind ``GET /stats``."""
 
-    def __init__(self, window_seconds: float = 60.0, reservoir: int = 2048):
+    def __init__(self, window_seconds: float = 60.0, reservoir: int = 2048,
+                 clock=time.monotonic):
         self.window_seconds = window_seconds
-        self.started_at = time.monotonic()
+        self._clock = clock
+        self.started_at = clock()
         self.requests_total = 0
         self.queries_total = 0
         self.responses_by_status: Counter[int] = Counter()
@@ -51,7 +57,7 @@ class ServerStats:
         self._latencies.append(latency_seconds)
         if n_queries:
             self.queries_total += n_queries
-            self._completions.append((time.monotonic(), n_queries))
+            self._completions.append((self._clock(), n_queries))
             self._prune()
 
     def record_batch(self, size: int) -> None:
@@ -60,7 +66,7 @@ class ServerStats:
         self._batch_sizes.append(size)
 
     def _prune(self) -> None:
-        horizon = time.monotonic() - self.window_seconds
+        horizon = self._clock() - self.window_seconds
         while self._completions and self._completions[0][0] < horizon:
             self._completions.popleft()
 
@@ -68,19 +74,31 @@ class ServerStats:
     # Reporting
     # ------------------------------------------------------------------
     def qps(self) -> float:
-        """Queries per second over the sliding window."""
+        """Queries per second over the *occupied* part of the sliding
+        window: completions divided by the span from the oldest
+        retained completion to now, floored at one second so a lone
+        fresh completion cannot read as a thousand QPS.  Dividing by
+        the full window would under-report a burst on a freshly-busy
+        server (100 queries in the last 2 s of a 60 s window is
+        50 QPS, not 1.7)."""
         self._prune()
         if not self._completions:
             return 0.0
-        elapsed = min(self.window_seconds,
-                      max(time.monotonic() - self.started_at, 1e-9))
-        return sum(n for _t, n in self._completions) / elapsed
+        occupied = max(self._clock() - self._completions[0][0], 1.0)
+        return sum(n for _t, n in self._completions) / occupied
+
+    def latencies(self) -> list[float]:
+        """The current latency reservoir (seconds) — exported into the
+        per-worker stats files so a fleet-wide ``/stats`` can compute
+        aggregate percentiles over the *concatenated* reservoirs
+        instead of trying to merge per-worker percentiles."""
+        return list(self._latencies)
 
     def snapshot(self) -> dict:
         latencies = list(self._latencies)
         batches = list(self._batch_sizes)
         return {
-            "uptime_seconds": time.monotonic() - self.started_at,
+            "uptime_seconds": self._clock() - self.started_at,
             "requests_total": self.requests_total,
             "queries_total": self.queries_total,
             "responses_by_status": {str(status): count for status, count

@@ -69,6 +69,43 @@ class TestTTLCache:
         with pytest.raises(ValueError, match="None"):
             TTLCache(4).put("a", None)
 
+    def test_contains_is_side_effect_free(self):
+        """``in`` must not refresh LRU recency: probing 'a' then
+        inserting over capacity still evicts 'a' (the true LRU), not
+        'b' — a containment check that bumped recency would silently
+        reorder eviction."""
+        cache = TTLCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache
+        cache.put("c", 3)                   # 'a' is still the LRU
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_contains_does_not_expire_or_count(self):
+        """``in`` on an expired entry reports absent without deleting
+        it or bumping the ``expirations`` counter; the entry stays in
+        place for ``get`` to reap."""
+        clock = [0.0]
+        cache = TTLCache(4, ttl=10.0, clock=lambda: clock[0])
+        cache.put("a", 1)
+        clock[0] = 10.0
+        assert "a" not in cache
+        assert cache.expirations == 0
+        assert len(cache) == 1              # still parked, unswept
+        assert cache.get("a") is None       # get() does the reaping
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_contains_sees_live_entries(self):
+        clock = [0.0]
+        cache = TTLCache(4, ttl=10.0, clock=lambda: clock[0])
+        cache.put("a", 1)
+        clock[0] = 9.9
+        assert "a" in cache
+        assert "missing" not in cache
+
     @pytest.mark.parametrize("size,ttl", [(0, None), (-1, None),
                                           (4, 0), (4, -1.0), (4, True)])
     def test_bad_bounds_are_rejected(self, size, ttl):

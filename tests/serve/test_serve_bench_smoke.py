@@ -54,6 +54,31 @@ def test_bench_serve_smoke(tmp_path):
     assert "per-request" in text and "micro-batch" in text
 
 
+def test_bench_prefork_smoke(tmp_path):
+    """The ``--prefork`` fleet workload at miniature scale: fleets of
+    1 and 2 boot through the real CLI, pass the served ≡ offline gate
+    (asserted inside ``_hammer`` before timing), report QPS, and exit
+    0 on SIGTERM.  QPS ordering across fleet sizes is deliberately not
+    asserted — on a 1-CPU runner flat is the honest answer."""
+    bench = load_module("bench_serve")
+    report = bench.run_prefork(n_vectors=200, dim=16, n_queries=24, k=5,
+                               n_clients=2, worker_counts=(1, 2),
+                               n_shards=2, workdir=tmp_path)
+    assert report["benchmark"] == "serve-prefork"
+    assert "bit-identical" in report["note"]
+    assert [r["workers"] for r in report["results"]] == [1, 2]
+    for record in report["results"]:
+        assert record["seconds"] > 0
+        assert record["qps"] > 0
+        assert record["n"] == 24
+        # /proc-backed memory accounting on Linux runners.
+        if record["rss_mb"] is not None:
+            assert record["rss_mb"] > 0
+    (tmp_path / "BENCH_prefork.json").write_text(json.dumps(report))
+    text = bench.render_prefork(report).to_text()
+    assert "prefork(workers=2)" in text
+
+
 def test_bench_cache_zipfian_smoke(tmp_path):
     """The ``--zipfian`` cache workload at miniature scale.  The
     harness asserts served == offline rankings before any timing, so

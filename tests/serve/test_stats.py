@@ -1,0 +1,115 @@
+"""Unit layer for the serving metrics: nearest-rank percentiles and
+the sliding-window QPS denominator.
+
+Both carried real bugs: ``percentile`` truncated instead of taking the
+nearest-rank ceiling (p50 of ``[1, 2]`` read as 2, skewing every small
+reservoir's ``/stats`` latency figure high), and ``qps`` divided by
+the full 60 s window even when every completion landed in the last few
+seconds, under-reporting bursts on a freshly-busy server.  The exact
+values here are the regression pins.
+"""
+
+import pytest
+
+from repro.serve.stats import ServerStats, percentile
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 0.5) is None
+
+    # n = 1: every q lands on the only value.
+    @pytest.mark.parametrize("q", [0.0, 0.5, 0.99, 1.0])
+    def test_single_value(self, q):
+        assert percentile([7.0], q) == 7.0
+
+    # n = 2: nearest-rank ceil — p50 is the FIRST value (ceil(1)-1),
+    # not the second (the truncation bug's answer).
+    def test_two_values_p50_is_lower(self):
+        assert percentile([1.0, 2.0], 0.5) == 1.0
+        assert percentile([2.0, 1.0], 0.5) == 1.0   # order-independent
+
+    def test_two_values_tails(self):
+        assert percentile([1.0, 2.0], 0.0) == 1.0
+        assert percentile([1.0, 2.0], 0.99) == 2.0
+        assert percentile([1.0, 2.0], 1.0) == 2.0
+
+    # n = 4: ceil(q*4) picks ranks 1..4 (1-indexed).
+    @pytest.mark.parametrize("q,want", [
+        (0.25, 1.0),    # ceil(1.0) = rank 1
+        (0.50, 2.0),    # ceil(2.0) = rank 2
+        (0.51, 3.0),    # ceil(2.04) = rank 3
+        (0.75, 3.0),    # ceil(3.0) = rank 3
+        (0.99, 4.0),    # ceil(3.96) = rank 4
+    ])
+    def test_four_values(self, q, want):
+        assert percentile([4.0, 2.0, 1.0, 3.0], q) == want
+
+    # n = 100: the textbook case — p50 of 1..100 is 50, p99 is 99.
+    @pytest.mark.parametrize("q,want", [
+        (0.50, 50.0), (0.90, 90.0), (0.99, 99.0), (1.0, 100.0),
+    ])
+    def test_hundred_values(self, q, want):
+        values = [float(i) for i in range(100, 0, -1)]
+        assert percentile(values, q) == want
+
+
+class TestQps:
+    def _stats(self, clock):
+        return ServerStats(window_seconds=60.0, clock=lambda: clock[0])
+
+    def test_idle_is_zero(self):
+        clock = [1000.0]
+        assert self._stats(clock).qps() == 0.0
+
+    def test_burst_on_old_server_uses_occupied_span(self):
+        """A server up for minutes that just served 100 queries in 2 s
+        must report ~50 QPS, not 100/60."""
+        clock = [0.0]
+        stats = self._stats(clock)
+        clock[0] = 300.0                    # long idle uptime
+        for i in range(100):
+            stats.record_response(200, 0.001, n_queries=1)
+            clock[0] += 2.0 / 99            # 100 completions over 2 s
+        assert stats.qps() == pytest.approx(100 / 2.0, rel=0.02)
+
+    def test_single_completion_is_floored_at_one_second(self):
+        """One completion a millisecond ago is 1 QPS (floored), not
+        1000."""
+        clock = [50.0]
+        stats = self._stats(clock)
+        stats.record_response(200, 0.001, n_queries=1)
+        clock[0] += 0.001
+        assert stats.qps() == pytest.approx(1.0)
+
+    def test_steady_state_matches_rate(self):
+        clock = [0.0]
+        stats = self._stats(clock)
+        for _ in range(30):                 # 100 queries/s for 3 s
+            for _ in range(10):
+                stats.record_response(200, 0.001, n_queries=1)
+            clock[0] += 0.1
+        assert stats.qps() == pytest.approx(100.0, rel=0.05)
+
+    def test_window_prunes_old_completions(self):
+        clock = [0.0]
+        stats = self._stats(clock)
+        stats.record_response(200, 0.001, n_queries=5)
+        clock[0] = 61.0                     # past the 60 s window
+        assert stats.qps() == 0.0
+
+    def test_batch_queries_count_fully(self):
+        clock = [0.0]
+        stats = self._stats(clock)
+        stats.record_response(200, 0.001, n_queries=8)
+        clock[0] = 4.0
+        stats.record_response(200, 0.001, n_queries=8)
+        assert stats.qps() == pytest.approx(16 / 4.0)
+
+    def test_snapshot_uses_injected_clock(self):
+        clock = [10.0]
+        stats = self._stats(clock)
+        clock[0] = 25.0
+        snap = stats.snapshot()
+        assert snap["uptime_seconds"] == pytest.approx(15.0)
+        assert snap["qps"] == 0.0
