@@ -1,0 +1,198 @@
+"""Quantized int8 tier: memory ratio, shortlist-kernel speedup, recall.
+
+One synthetic corpus of seeded gaussian vectors (with duplicate rows,
+so exact ties exist), indexed twice — fp-only and with the int8
+sidecar.  Before any timing, the harness *gates on equivalence*: the
+quantized index at the default overfetch/margin must reproduce the
+unquantized rankings exactly, or the run aborts (timings of a broken
+tier are meaningless).  Then it reports:
+
+- ``resident bytes``: the int8 sidecar (q8 + scales + norms) vs the
+  fp64 vector matrix — the candidate-scoring working set each path
+  touches per query.  The acceptance bar is <= 0.35x; symmetric int8
+  over fp64 lands near 1/8 + 1/dim.
+- ``shortlist kernel``: int32-accumulated candidate scoring vs the
+  exact fp einsum over the same candidate set, timed at kernel level.
+- ``end to end``: ``query_many`` with and without the quantized tier.
+- ``recall@shortlist``: at margin 0 (so the overfetch factor alone is
+  measured), the fraction of queries whose tie-inclusive shortlist
+  contains every true top-k candidate, swept over overfetch factors.
+
+Results land in ``results/BENCH_quant.json`` in the shared
+``BENCH_*.json`` tracking shape.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_quantized.py``)
+or via the smoke test in ``tests/index/test_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.eval import ResultsTable, results_dir
+from repro.index import VectorIndex
+from repro.retrieval import (
+    approx_scores,
+    quantize_rows,
+    shortlist_size,
+    tie_inclusive_cut,
+)
+
+OVERFETCHES = (1, 2, 4, 8)
+
+
+def _timed(fn, repeats: int = 3):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def _rankings(index, queries, k):
+    return [[(h.key, round(h.score, 9)) for h in hits]
+            for hits in index.query_many(queries, k=k)]
+
+
+def run(n_vectors: int = 4000, dim: int = 64, n_queries: int = 50,
+        k: int = 10, overfetches: tuple[int, ...] = OVERFETCHES,
+        seed: int = 0, repeats: int = 3) -> dict:
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal(((n_vectors + 2) // 3, dim))
+    vectors = np.repeat(base, 3, axis=0)[:n_vectors]   # dense exact ties
+    queries = rng.standard_normal((n_queries, dim))
+    keys = [f"k{i:06d}" for i in range(n_vectors)]
+    records = []
+
+    plain = VectorIndex(dim=dim, seed=seed)
+    plain.add_batch(keys, vectors)
+    quant = VectorIndex(dim=dim, seed=seed)
+    quant.add_batch(keys, vectors)
+    quant.quantize()
+    quant.enable_quantized()
+
+    # --- equivalence gate: no timing until rankings proven identical.
+    want = _rankings(plain, queries, k)
+    got = _rankings(quant, queries, k)
+    if got != want:
+        raise AssertionError(
+            "quantized rankings diverged from the unquantized index at "
+            "the default overfetch/margin — the exact-rerank contract is "
+            "broken, timings are meaningless")
+
+    # --- resident bytes: candidate-scoring working set per path.
+    q8, scales, norms = quant.lsh.quantized_arrays()
+    fp_bytes = vectors.astype(float).nbytes
+    int8_bytes = q8.nbytes + scales.nbytes + norms.nbytes
+    ratio = int8_bytes / fp_bytes
+    records.append({"op": "resident_bytes", "mode": "fp64",
+                    "bytes": fp_bytes, "ratio": 1.0})
+    records.append({"op": "resident_bytes", "mode": "int8 sidecar",
+                    "bytes": int8_bytes, "ratio": ratio})
+    if ratio > 0.35:
+        raise AssertionError(
+            f"int8 sidecar is {ratio:.3f}x the fp64 matrix — above the "
+            f"0.35x bar the quantized tier promises")
+
+    # --- shortlist kernel vs exact fp scoring over all candidates.
+    queries_q8, _, _ = quantize_rows(queries)
+    matrix = vectors.astype(float)
+    norms_fp = np.sqrt(np.einsum("nd,nd->n", matrix, matrix))
+
+    def int8_kernel():
+        return approx_scores(q8, scales, norms, queries_q8)
+
+    def fp_kernel():
+        return np.einsum("nd,qd->nq", matrix, queries) / norms_fp[:, None]
+
+    seconds_int8, _ = _timed(int8_kernel, repeats)
+    seconds_fp, _ = _timed(fp_kernel, repeats)
+    records.append({"op": "score_kernel", "mode": "int8",
+                    "n": n_queries, "seconds": seconds_int8,
+                    "speedup": seconds_fp / seconds_int8
+                    if seconds_int8 else None})
+    records.append({"op": "score_kernel", "mode": "fp64 einsum",
+                    "n": n_queries, "seconds": seconds_fp, "speedup": 1.0})
+
+    # --- end-to-end query_many, both paths.
+    seconds, _ = _timed(lambda: plain.query_many(queries, k=k), repeats)
+    records.append({"op": "query_many", "mode": "unquantized",
+                    "n": n_queries, "seconds": seconds,
+                    "per_sec": n_queries / seconds if seconds else None})
+    seconds, _ = _timed(lambda: quant.query_many(queries, k=k), repeats)
+    records.append({"op": "query_many", "mode": "quantized",
+                    "n": n_queries, "seconds": seconds,
+                    "per_sec": n_queries / seconds if seconds else None})
+
+    # --- recall@shortlist vs overfetch, margin pinned to 0.
+    exact = np.einsum("nd,qd->nq", matrix, queries) / norms_fp[:, None]
+    approx = approx_scores(q8, scales, norms, queries_q8)
+    for overfetch in overfetches:
+        m = shortlist_size(k, overfetch=overfetch, margin=0)
+        full_cover = 0
+        kept_total = 0
+        for q in range(n_queries):
+            keep = tie_inclusive_cut(approx[:, q], m)
+            true_topk = np.argsort(-exact[:, q], kind="stable")[:k]
+            hits = int(keep[true_topk].sum())
+            kept_total += hits
+            full_cover += int(hits == k)
+        records.append({
+            "op": "recall", "mode": f"overfetch={overfetch}",
+            "shortlist": m,
+            "recall_at_shortlist": kept_total / (k * n_queries),
+            "queries_fully_covered": full_cover / n_queries,
+        })
+
+    return {
+        "benchmark": "quantized",
+        "config": {"n_vectors": n_vectors, "dim": dim,
+                   "n_queries": n_queries, "k": k,
+                   "overfetches": list(overfetches), "seed": seed,
+                   "repeats": repeats},
+        "results": records,
+    }
+
+
+def render(report: dict) -> ResultsTable:
+    config = report["config"]
+    out = ResultsTable(
+        f"Quantized tier: {config['n_vectors']} vectors (dim "
+        f"{config['dim']}), {config['n_queries']} queries @ "
+        f"k={config['k']}",
+        columns=["value", "seconds", "note"])
+    for record in report["results"]:
+        row = f"{record['op']} {record['mode']}"
+        if record["op"] == "resident_bytes":
+            out.add(row, "value", record["bytes"])
+            out.add(row, "note", f"{record['ratio']:.3f}x")
+        elif record["op"] == "recall":
+            out.add(row, "value", f"{record['recall_at_shortlist']:.4f}")
+            out.add(row, "note",
+                    f"m={record['shortlist']} full-cover "
+                    f"{record['queries_fully_covered']:.2f}")
+        else:
+            out.add(row, "seconds", f"{record['seconds']:.4f}")
+            if record.get("speedup") is not None:
+                out.add(row, "note", f"{record['speedup']:.1f}x")
+            elif record.get("per_sec") is not None:
+                out.add(row, "note", f"{record['per_sec']:.1f}/s")
+    return out
+
+
+def main() -> int:
+    report = run()
+    render(report).show()
+    path = results_dir() / "BENCH_quant.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"Wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

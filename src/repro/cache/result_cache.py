@@ -115,8 +115,15 @@ class TTLCache:
         self._data[key] = (expires_at, value)
         self._data.move_to_end(key)
         while len(self._data) > self.max_entries:
-            self._data.popitem(last=False)
-            self.evictions += 1
+            _key, (popped_expiry, _value) = self._data.popitem(last=False)
+            # An entry that had already timed out but was never swept by
+            # a get() is an expiry, not an eviction — crediting it to
+            # evictions would overstate capacity pressure (the counters
+            # feed /stats, where operators size --cache-size from them).
+            if popped_expiry is not None and self._clock() >= popped_expiry:
+                self.expirations += 1
+            else:
+                self.evictions += 1
 
     def clear(self) -> int:
         """Drop every entry; returns how many were dropped."""

@@ -165,18 +165,32 @@ class CatalogHandle:
         unbounded.  When exceeded, the least-recently-used idle slot is
         evicted; if every other open slot is busy, the cap is exceeded
         temporarily rather than evicting under in-flight work.
+    quantized:
+        Opt every opened entry into the int8 prefilter tier
+        (``open_index(..., quantized=True)`` semantics: an entry whose
+        layout lacks the sidecar fails its open with the retrofit
+        hint).  ``overfetch``/``margin`` tune the shortlist size; both
+        are only meaningful with ``quantized=True``.
     """
 
     def __init__(self, catalog: Catalog, *, mmap: bool = True,
-                 max_open: int | None = None):
+                 max_open: int | None = None, quantized: bool = False,
+                 overfetch: int | None = None, margin: int | None = None):
         if max_open is not None and max_open < 1:
             raise ValueError(f"max_open must be at least 1, got {max_open}")
+        if overfetch is not None and overfetch < 1:
+            raise ValueError(f"overfetch must be at least 1, got {overfetch}")
+        if margin is not None and margin < 0:
+            raise ValueError(f"margin must be at least 0, got {margin}")
         if not len(catalog):
             raise ValueError("catalog has no entries; add one with "
                              "`catalog add` before serving")
         self.catalog = catalog
         self.mmap = mmap
         self.max_open = max_open
+        self.quantized = quantized
+        self.overfetch = overfetch
+        self.margin = margin
         self.slots: dict[str, IndexSlot] = {
             entry.name: IndexSlot(entry) for entry in catalog}
         self._clock = 0
@@ -309,6 +323,12 @@ class CatalogHandle:
 
         entry = slot.entry
         index = open_index(self.catalog.resolve_path(entry), mmap=self.mmap)
+        if self.quantized:
+            # After the open, so a missing sidecar surfaces as the
+            # clear enable_quantized error (with the retrofit hint)
+            # rather than a failed open of an otherwise-good layout.
+            index.enable_quantized(overfetch=self.overfetch,
+                                   margin=self.margin)
         if index.kind != entry.kind:
             raise ValueError(
                 f"catalog entry {entry.name!r} says kind {entry.kind!r} but "

@@ -25,6 +25,12 @@ Subcommands::
     python -m repro.cli index merge   --out OUT A B...     merge saved indexes
                                                            (dedupes by
                                                            fingerprint)
+    python -m repro.cli index quantize <index>             retrofit an int8
+                                                           sidecar in place
+                                                           (serve --quantized
+                                                           then shortlists in
+                                                           int8 and reranks
+                                                           exactly)
     python -m repro.cli catalog init <dir>                 start an empty
                                                            catalog.json
     python -m repro.cli catalog add  <dir> --name N        register a saved
@@ -85,35 +91,41 @@ from .eval import (
 )
 
 
-#: Count-like flags share one positivity rule; messages live here —
-#: word-for-word what the historical per-command copies printed (tests
-#: pin them) — so no subcommand's wording can drift from the others.
+#: Count-like flags share one minimum-value rule; each entry is
+#: ``(minimum, message)`` — the messages are word-for-word what the
+#: historical per-command copies printed (tests pin them) — so no
+#: subcommand's wording can drift from the others.  Most flags floor at
+#: 1; ``--margin`` legitimately allows 0 (no extra shortlist slack).
 _COUNT_FLAG_MESSAGES = {
-    "workers": "--workers must be positive",
-    "jobs": "--jobs must be positive",
-    "shards": "--shards must be at least 1",
-    "k": "-k/--k must be at least 1",
-    "chunk": "--chunk must be at least 1",
-    "max_batch": "--max-batch must be at least 1",
-    "max_open": "--max-open must be at least 1",
-    "max_backlog": "--max-backlog must be at least 1",
+    "workers": (1, "--workers must be positive"),
+    "jobs": (1, "--jobs must be positive"),
+    "shards": (1, "--shards must be at least 1"),
+    "k": (1, "-k/--k must be at least 1"),
+    "chunk": (1, "--chunk must be at least 1"),
+    "max_batch": (1, "--max-batch must be at least 1"),
+    "max_open": (1, "--max-open must be at least 1"),
+    "max_backlog": (1, "--max-backlog must be at least 1"),
+    "overfetch": (1, "--overfetch must be at least 1"),
+    "margin": (0, "--margin must be at least 0"),
 }
 
 
 def _validate_counts(args: argparse.Namespace, *names: str) -> int:
     """Shared validation for the count-like flags (``--jobs``,
-    ``--workers``, ``-k``, ...): each must be >= 1 when given (``None``
-    means the flag was omitted and is fine).  Prints one stderr line
-    per offending flag and returns 2; returns 0 when all pass.  This
-    used to be copy-pasted at three call sites, which is exactly how
-    ``serve --workers`` could have drifted from ``index build
-    --workers`` — every exit-2 path now runs through here and is
-    covered by one parametrized test (tests/test_cli_validation.py)."""
+    ``--workers``, ``-k``, ...): each must meet its per-flag minimum
+    when given (``None`` means the flag was omitted and is fine).
+    Prints one stderr line per offending flag and returns 2; returns 0
+    when all pass.  This used to be copy-pasted at three call sites,
+    which is exactly how ``serve --workers`` could have drifted from
+    ``index build --workers`` — every exit-2 path now runs through here
+    and is covered by one parametrized test
+    (tests/test_cli_validation.py)."""
     code = 0
     for name in names:
         value = getattr(args, name, None)
-        if value is not None and value < 1:
-            print(_COUNT_FLAG_MESSAGES[name], file=sys.stderr)
+        minimum, message = _COUNT_FLAG_MESSAGES[name]
+        if value is not None and value < minimum:
+            print(message, file=sys.stderr)
             code = 2
     return code
 
@@ -269,6 +281,11 @@ def cmd_index_build(args: argparse.Namespace) -> int:
         table_path, column_path = out / "tables.npz", out / "columns.npz"
     table_index.corpus = dict(corpus_id)
     column_index.corpus = dict(corpus_id)
+    if args.quantize:
+        # Attach the int8 sidecar before saving; save() writes the
+        # quantized members whenever the sidecar is present.
+        table_index.quantize()
+        column_index.quantize()
     for name in ("tables", "columns"):
         # The suffixless logical path: the sharded dir lives there, the
         # single-file layout appends .npz.
@@ -283,6 +300,8 @@ def cmd_index_build(args: argparse.Namespace) -> int:
         summary.add("shards", "value", args.shards)
         summary.add("shard sizes (tables)", "value",
                     "/".join(str(n) for n in table_index.shard_sizes()))
+    if args.quantize:
+        summary.add("quantized", "value", "int8 sidecar (exact rerank)")
     summary.add("encoder batches", "value", stats.batches)
     summary.add("sequences encoded", "value", stats.sequences_encoded)
     summary.show()
@@ -541,6 +560,31 @@ def cmd_index_compact(args: argparse.Namespace) -> int:
     index.save(args.path)
     print(f"Compacted {args.path}: reclaimed {dropped} tombstoned slots, "
           f"{len(index)} live entries")
+    return 0
+
+
+def cmd_index_quantize(args: argparse.Namespace) -> int:
+    """``index quantize``: retrofit an int8 sidecar onto a saved index.
+
+    Opens the layout *eagerly* (never mmapped — the save below
+    overwrites the very file a map would be reading from), rebuilds the
+    per-vector int8 sidecar from the fp vectors, and saves in place.
+    Idempotent: re-running on an already-quantized layout refreshes the
+    sidecar from the current vectors."""
+    from .index import open_index
+
+    try:
+        index = open_index(args.path, mmap=False)
+    except (FileNotFoundError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    already = index.quantized
+    count = index.quantize()
+    index.save(args.path)
+    verb = "Refreshed" if already else "Quantized"
+    print(f"{verb} {args.path}: int8 sidecar over {count} vectors "
+          f"({len(index)} live entries); serve with --quantized or open "
+          f"with open_index(..., quantized=True)")
     return 0
 
 
@@ -805,15 +849,16 @@ def _serve_prefork(args: argparse.Namespace, cache_size: int) -> int:
         log_path = (f"{log_base}.worker{worker_id}" if log_base else None)
 
         async def _run() -> int:
-            server = RetrievalServer(
-                target, host=args.host, sock=sock,
-                max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
-                jobs=args.jobs, mmap=not args.no_mmap,
-                max_open=args.max_open, cache_size=cache_size,
-                cache_ttl=args.cache_ttl, max_backlog=args.max_backlog,
-                worker_id=worker_id, stats_dir=supervisor.stats_dir,
-                log_path=log_path)
             try:
+                server = RetrievalServer(
+                    target, host=args.host, sock=sock,
+                    max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+                    jobs=args.jobs, mmap=not args.no_mmap,
+                    max_open=args.max_open, cache_size=cache_size,
+                    cache_ttl=args.cache_ttl, max_backlog=args.max_backlog,
+                    worker_id=worker_id, stats_dir=supervisor.stats_dir,
+                    log_path=log_path, quantized=args.quantized,
+                    overfetch=args.overfetch, margin=args.margin)
                 await server.start()
             except (FileNotFoundError, ValueError) as error:
                 # Exit code 2 is the supervisor's fatal-config signal:
@@ -880,7 +925,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
               "path, or --cluster topology.json", file=sys.stderr)
         return 2
     if _validate_counts(args, "workers", "jobs", "max_batch", "max_open",
-                        "max_backlog"):
+                        "max_backlog", "overfetch", "margin"):
+        return 2
+    if args.cluster is not None and args.quantized:
+        print("--quantized applies to locally opened layouts; a cluster "
+              "coordinator's shard servers quantize on their own side",
+              file=sys.stderr)
+        return 2
+    if (args.overfetch is not None or args.margin is not None) \
+            and not args.quantized:
+        print("--overfetch/--margin tune the quantized shortlist and "
+              "require --quantized", file=sys.stderr)
         return 2
     if args.max_wait_ms < 0:
         print("--max-wait-ms must be >= 0", file=sys.stderr)
@@ -931,20 +986,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
             return 2
 
     async def _serve() -> int:
-        server = RetrievalServer(target, host=args.host, port=args.port,
-                                 max_batch=args.max_batch,
-                                 max_wait_ms=args.max_wait_ms,
-                                 jobs=args.jobs, mmap=not args.no_mmap,
-                                 max_open=args.max_open,
-                                 cache_size=cache_size,
-                                 cache_ttl=args.cache_ttl,
-                                 max_backlog=args.max_backlog,
-                                 log_path=args.log_file)
         try:
+            server = RetrievalServer(target, host=args.host, port=args.port,
+                                     max_batch=args.max_batch,
+                                     max_wait_ms=args.max_wait_ms,
+                                     jobs=args.jobs, mmap=not args.no_mmap,
+                                     max_open=args.max_open,
+                                     cache_size=cache_size,
+                                     cache_ttl=args.cache_ttl,
+                                     max_backlog=args.max_backlog,
+                                     log_path=args.log_file,
+                                     quantized=args.quantized,
+                                     overfetch=args.overfetch,
+                                     margin=args.margin)
             await server.start()
         except (FileNotFoundError, ValueError) as error:
             # The catalog's default entry failed to open (missing or
-            # stale layout): refuse to start rather than 500 later.
+            # stale layout), or --quantized named a layout with no int8
+            # sidecar: refuse to start rather than 500 later.
             print(str(error), file=sys.stderr)
             return 2
         if remote is not None:
@@ -964,8 +1023,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"(optional \"index\" route), GET /indexes, "
                   f"GET /healthz, GET /stats", flush=True)
         else:
+            mode = "mmap" if not args.no_mmap else "eager"
+            if args.quantized:
+                mode += ", int8 shortlist + exact rerank"
             print(f"Serving {target.kind} index ({len(target)} entries, "
-                  f"{'mmap' if not args.no_mmap else 'eager'}) on "
+                  f"{mode}) on "
                   f"http://{args.host}:{server.port} — POST /query, "
                   f"GET /healthz, GET /stats", flush=True)
         loop = asyncio.get_running_loop()
@@ -1056,6 +1118,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fan the per-shard builds across N processes "
                               "(requires --shards; results identical to "
                               "serial)")
+    p_build.add_argument("--quantize", action="store_true",
+                         help="also write a per-vector int8 sidecar "
+                              "alongside the fp vectors; `serve "
+                              "--quantized` then scores candidates in "
+                              "int8 and reranks the shortlist exactly "
+                              "(rankings identical)")
     p_build.set_defaults(func=cmd_index_build)
 
     p_query = index_sub.add_parser("query", help="top-k neighbours from a "
@@ -1102,6 +1170,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_compact.add_argument("path", help="saved index (.npz file or sharded "
                                         "dir)")
     p_compact.set_defaults(func=cmd_index_compact)
+
+    p_quantize = index_sub.add_parser(
+        "quantize", help="retrofit an int8 sidecar onto a saved index "
+                         "(in place; idempotent refresh if already "
+                         "quantized)")
+    p_quantize.add_argument("path", help="saved index (.npz file or "
+                                         "sharded dir)")
+    p_quantize.set_defaults(func=cmd_index_quantize)
 
     p_merge = index_sub.add_parser("merge", help="merge saved indexes "
                                                  "(fingerprint-deduped)")
@@ -1222,6 +1298,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-cache", action="store_true",
                          help="serve every query uncached (same as "
                               "--cache-size 0)")
+    p_serve.add_argument("--quantized", action="store_true",
+                         help="score candidates through the layout's int8 "
+                              "sidecar and rerank the shortlist exactly "
+                              "(rankings identical to fp; requires a "
+                              "layout built with `index build --quantize` "
+                              "or retrofitted with `index quantize`)")
+    p_serve.add_argument("--overfetch", type=int, default=None,
+                         help="with --quantized: shortlist "
+                              "max(k*overfetch, k+margin) candidates for "
+                              "exact rerank (default 4)")
+    p_serve.add_argument("--margin", type=int, default=None,
+                         help="with --quantized: additive shortlist slack "
+                              "(default 32; 0 allowed)")
     p_serve.add_argument("--log-file", default=None,
                          help="append an access/drain log to this file "
                               "(default: $REPRO_SERVE_LOG if set)")

@@ -184,7 +184,8 @@ class ShardedDirBackend:
             filename = SHARD_TEMPLATE.format(position)
             shard.save(path / filename)
             entries.append({"file": filename, "entries": len(shard),
-                            "tombstones": shard.n_tombstones})
+                            "tombstones": shard.n_tombstones,
+                            "quantized": shard.quantized})
         # Rebalancing to fewer shards must not leave orphan files that a
         # later manifest rewrite could resurrect.
         kept = {entry["file"] for entry in entries}
@@ -206,8 +207,8 @@ BACKENDS: tuple[IndexBackend, ...] = (ShardedDirBackend(),
                                       SingleFileBackend())
 
 
-def open_index(path: str | Path,
-               mmap: bool = False) -> VectorIndex | ShardedIndex:
+def open_index(path: str | Path, mmap: bool = False,
+               quantized: bool = False) -> VectorIndex | ShardedIndex:
     """Open a saved index of either layout.
 
     Returns a :class:`VectorIndex` subclass for single ``.npz`` files
@@ -222,12 +223,22 @@ def open_index(path: str | Path,
     in only the candidate rows they score, and results are bit-identical
     to an eager load (property-tested).  The mapped arrays are
     write-protected, so an accidental writeback raises instead of
-    corrupting the file.
+    corrupting the file.  When the layout carries int8 sidecar members
+    they are mapped (or read) alongside the fp matrix automatically.
+
+    ``quantized=True`` additionally opts queries into the int8
+    prefilter tier (``enable_quantized``); a layout without sidecar
+    members raises ``ValueError`` naming the retrofit command.
+    Rankings are bit-identical either way — the flag trades rerank
+    cost for GEMM and resident-memory savings, not result quality.
     """
     path = Path(path)
     for backend in BACKENDS:
         if backend.handles(path):
-            return backend.load(path, mmap=mmap)
+            index = backend.load(path, mmap=mmap)
+            if quantized:
+                index.enable_quantized()
+            return index
     if path.is_dir():
         raise FileNotFoundError(
             f"{path} is a directory without {MANIFEST_NAME} — not a "

@@ -38,6 +38,7 @@ from pathlib import Path
 import numpy as np
 
 from ..retrieval.lsh import CosineLSH
+from ..retrieval.quantized import MARGIN, OVERFETCH, shortlist_size
 from ..tables.table import Table
 from .fingerprint import table_fingerprint
 
@@ -52,6 +53,12 @@ FORMAT_VERSION = 2
 
 #: Name ``np.savez`` gives the vector-matrix member inside the archive.
 _VECTORS_MEMBER = "vectors.npy"
+
+#: Archive members of the optional int8 sidecar, in
+#: ``(q8, scales, norms)`` order.  Additive: old readers only look at
+#: ``vectors``/``band_keys``/the payload, so quantized files load
+#: everywhere; files without these members simply have no sidecar.
+_QUANT_MEMBERS = ("q8", "q_scales", "q_norms")
 
 
 def _mmap_npz_member(path: Path, name: str = _VECTORS_MEMBER) -> np.ndarray:
@@ -102,6 +109,26 @@ def _mmap_npz_member(path: Path, name: str = _VECTORS_MEMBER) -> np.ndarray:
         offset = handle.tell()
     return np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=shape,
                      order="F" if fortran_order else "C")
+
+
+def _load_member(path: Path, name: str, mmap: bool) -> np.ndarray:
+    """One archive member, memory-mapped when asked and possible.
+
+    The mmap parser reads each member's own npy header, so dtype and
+    alignment come from the member itself — the fp ``vectors`` matrix,
+    the int8 ``q8`` sidecar and its float32 constants all map through
+    the same code path.  A member that cannot be mapped (compressed by
+    a foreign writer, or zero-length — ``mmap`` rejects empty ranges)
+    falls back to an eager read of *that member only*, never dragging
+    the rest of the archive into memory with it.
+    """
+    if mmap:
+        try:
+            return _mmap_npz_member(path, name + ".npy")
+        except (ValueError, OSError):
+            pass
+    with np.load(path) as archive:
+        return archive[name]
 
 
 #: Embedder installed in each ``build_sharded`` worker process by the
@@ -183,6 +210,16 @@ class VectorIndex:
         #: and clears on change).  Deliberately *not* persisted: a
         #: fresh load is a fresh cache scope.
         self.generation: int = 0
+        #: Whether queries route through the int8 prefilter
+        #: (:meth:`enable_quantized`).  Distinct from :attr:`quantized`
+        #: — a sidecar can be present but unused; scoring through it is
+        #: an explicit opt-in (``serve --quantized``,
+        #: ``open_index(quantized=True)``).
+        self.use_quantized: bool = False
+        #: Shortlist sizing knobs (see
+        #: :func:`~repro.retrieval.quantized.shortlist_size`).
+        self.q_overfetch: int = OVERFETCH
+        self.q_margin: int = MARGIN
 
     # ------------------------------------------------------------------
     # Population
@@ -265,9 +302,15 @@ class VectorIndex:
         # Dense ids shuffle below, so any cached candidate shortlist
         # (id-addressed) is wrong from here on: bump before rebuilding.
         self.generation += 1
+        was_quantized = self.lsh.quantized
         live = self.live_items()
         self.lsh = CosineLSH(self.dim, n_planes=self.n_planes,
                              n_bands=self.n_bands, seed=self.seed)
+        if was_quantized:
+            # Quantize-before-insert so add_all extends the (empty)
+            # sidecar in lockstep: a quantized index never holds fp
+            # rows without their int8 twins, even mid-compaction.
+            self.lsh.quantize()
         self.keys, self.meta, self._id_of = [], [], {}
         if live:
             vectors = np.stack([vec for _key, vec, _meta in live])
@@ -276,6 +319,64 @@ class VectorIndex:
             self.meta = [meta for _key, _vec, meta in live]
             self._id_of = dict(zip(self.keys, ids))
         return dropped
+
+    # ------------------------------------------------------------------
+    # Quantized tier
+    # ------------------------------------------------------------------
+    @property
+    def quantized(self) -> bool:
+        """Whether the int8 sidecar is present (it is then kept fresh
+        through every mutation — see ``CosineLSH._extend_quantized`` and
+        :meth:`compact`)."""
+        return self.lsh.quantized
+
+    def quantize(self) -> int:
+        """(Re)build the int8 sidecar from the current fp vectors.
+        Idempotent — running it on an already-quantized index refreshes
+        the sidecar in place.  Returns the number of rows quantized.
+        Queries are unaffected until :meth:`enable_quantized` opts in,
+        and rankings are identical either way."""
+        return self.lsh.quantize()
+
+    def drop_quantized(self) -> None:
+        """Detach the sidecar; the next :meth:`save` writes a plain
+        (unquantized) layout."""
+        self.lsh.drop_quantized()
+        self.use_quantized = False
+
+    def enable_quantized(self, overfetch: int | None = None,
+                         margin: int | None = None) -> None:
+        """Route queries through the int8 prefilter.  Requires the
+        sidecar (build with ``--quantize`` or retrofit with ``index
+        quantize``); rankings stay bit-identical to the exact path as
+        long as the shortlist holds the true top-k (the recall contract
+        the equivalence suite and benchmark gate pin)."""
+        if not self.lsh.quantized:
+            raise ValueError(
+                "index has no quantized tier — build with `index build "
+                "--quantize` or retrofit with `index quantize PATH`")
+        if overfetch is not None:
+            if overfetch < 1:
+                raise ValueError(f"overfetch must be at least 1, "
+                                 f"got {overfetch}")
+            self.q_overfetch = overfetch
+        if margin is not None:
+            if margin < 0:
+                raise ValueError(f"margin must be at least 0, got {margin}")
+            self.q_margin = margin
+        self.use_quantized = True
+
+    def disable_quantized(self) -> None:
+        """Stop routing queries through the prefilter (sidecar kept)."""
+        self.use_quantized = False
+
+    def _shortlist_for(self, k: int) -> int | None:
+        """The prefilter size active query paths pass down to the LSH
+        kernels — ``None`` (no prefilter) unless quantized scoring is
+        enabled *and* the sidecar is attached."""
+        if not (self.use_quantized and self.lsh.quantized):
+            return None
+        return shortlist_size(k, self.q_overfetch, self.q_margin)
 
     def _merge_signature(self) -> dict:
         """Parameters two indexes must share to be merged.  LSH geometry
@@ -438,7 +539,8 @@ class VectorIndex:
             if exclude_id is not None:
                 cands.discard(exclude_id)
             cand_sets.append(cands)
-        rankings = self.lsh._rank_many(cand_sets, matrix, None)
+        rankings = self.lsh._rank_many(cand_sets, matrix, None,
+                                       shortlist=self._shortlist_for(k))
         results = [self._hits(ranked, k) for ranked in rankings]
         short = [q for q in range(len(matrix)) if len(cand_sets[q]) < k]
         if short:
@@ -462,7 +564,8 @@ class VectorIndex:
         ids = self._exclude_ids(excludes, len(vectors))
         # As in query_partial: rank all candidates, re-break ties by key
         # in _hits, truncate after.
-        partials = self.lsh.query_partial_many(vectors, None, excludes=ids)
+        partials = self.lsh.query_partial_many(
+            vectors, None, excludes=ids, shortlist=self._shortlist_for(k))
         return [(count, self._hits(ranked, k)) for count, ranked in partials]
 
     def query_brute_many(self, vectors: np.ndarray, k: int = 10,
@@ -474,7 +577,8 @@ class VectorIndex:
             raise ValueError(f"k must be at least 1, got {k}")
         vectors = np.asarray(vectors, float)
         ids = self._exclude_ids(excludes, len(vectors))
-        rankings = self.lsh.query_brute_many(vectors, None, excludes=ids)
+        rankings = self.lsh.query_brute_many(
+            vectors, None, excludes=ids, shortlist=self._shortlist_for(k))
         return [self._hits(ranked, k) for ranked in rankings]
 
     def query_partial(self, vector: np.ndarray, k: int = 10,
@@ -491,8 +595,9 @@ class VectorIndex:
         # Rank *all* candidates and truncate after the key tie-break —
         # truncating inside the LSH (id tie-break) could swap members at
         # a tied k boundary.
-        n_candidates, ranked = self.lsh.query_partial(vector, None,
-                                                      exclude=exclude_id)
+        n_candidates, ranked = self.lsh.query_partial(
+            vector, None, exclude=exclude_id,
+            shortlist=self._shortlist_for(k))
         return n_candidates, self._hits(ranked, k)
 
     def query_brute(self, vector: np.ndarray, k: int = 10,
@@ -501,8 +606,9 @@ class VectorIndex:
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
         exclude_id = self._id_of.get(exclude) if exclude is not None else None
-        return self._hits(self.lsh.query_brute(vector, None,
-                                               exclude=exclude_id), k)
+        return self._hits(self.lsh.query_brute(
+            vector, None, exclude=exclude_id,
+            shortlist=self._shortlist_for(k)), k)
 
     # ------------------------------------------------------------------
     # Sharded map-reduce build
@@ -599,15 +705,25 @@ class VectorIndex:
         and the payload, so the addition is invisible to them).  They
         let :meth:`load` rebuild the buckets without re-hashing, which
         is what makes ``mmap=True`` opens skip the vector data
-        entirely."""
+        entirely.
+
+        A quantized index additionally writes its int8 sidecar as
+        ``q8``/``q_scales``/``q_norms`` members — equally invisible to
+        older readers.  The members are written if and only if the
+        in-memory sidecar is present, and that sidecar is kept fresh
+        through every mutation, so on-disk int8 data can never be stale
+        against the fp vectors it sits next to."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"format_version": FORMAT_VERSION,
                               "params": self._params(), "keys": self.keys,
                               "meta": self.meta,
                               "tombstones": sorted(self.lsh.removed)})
-        np.savez(path, vectors=self.lsh.vectors(),
-                 band_keys=self.lsh.band_keys_matrix(),
+        arrays = {"vectors": self.lsh.vectors(),
+                  "band_keys": self.lsh.band_keys_matrix()}
+        if self.lsh.quantized:
+            arrays.update(zip(_QUANT_MEMBERS, self.lsh.quantized_arrays()))
+        np.savez(path, **arrays,
                  **{_PAYLOAD_KEY: np.frombuffer(payload.encode("utf-8"),
                                                 dtype=np.uint8)})
         return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
@@ -615,7 +731,8 @@ class VectorIndex:
     @classmethod
     def _from_payload(cls, params: dict, keys: list[str], meta: list[dict],
                       vectors: np.ndarray, tombstones: list[int],
-                      band_keys: np.ndarray | None = None) -> "VectorIndex":
+                      band_keys: np.ndarray | None = None,
+                      quantized: tuple | None = None) -> "VectorIndex":
         index = cls(params["dim"], n_planes=params["n_planes"],
                     n_bands=params["n_bands"], seed=params["seed"])
         index.corpus = params.get("corpus", {})
@@ -637,6 +754,13 @@ class VectorIndex:
             # only the live one may win the key -> id mapping.
             index._id_of = {key: i for i, key in enumerate(keys)
                             if i not in dead}
+        if quantized is not None:
+            # Attached even for an empty index: an empty shard of a
+            # quantized layout must load as quantized, or the sharded
+            # all-shards-quantized invariant would break on skewed
+            # layouts.  Shape/dtype mismatches (foreign writer) were
+            # already screened by the loader.
+            index.lsh.attach_quantized(*quantized)
         return index
 
     def _restore_extra(self, params: dict) -> None:
@@ -657,16 +781,30 @@ class VectorIndex:
             payload = json.loads(bytes(archive[_PAYLOAD_KEY]).decode("utf-8"))
             band_keys = (archive["band_keys"]
                          if "band_keys" in archive.files else None)
+            has_quant = all(name in archive.files
+                            for name in _QUANT_MEMBERS)
             vectors = None if mmap else archive["vectors"]
         if mmap:
-            try:
-                vectors = _mmap_npz_member(path)
-            except ValueError:
-                # A compressed or otherwise unmappable member (no writer
-                # here produces one): fall back to the eager read rather
-                # than refuse to serve the index.
-                with np.load(path) as archive:
-                    vectors = archive["vectors"]
+            # The vectors member and — when present — the int8 sidecar
+            # all map through the same per-member parser (dtype and
+            # alignment come from each member's own npy header); any
+            # member that cannot be mapped falls back to an eager read
+            # of just that member.
+            vectors = _load_member(path, "vectors", mmap=True)
+        quantized = None
+        if has_quant:
+            quantized = tuple(_load_member(path, name, mmap=mmap)
+                              for name in _QUANT_MEMBERS)
+            q8, scales, norms = quantized
+            if (q8.shape != np.shape(vectors) or q8.dtype != np.int8
+                    or scales.shape != (len(vectors),)
+                    or norms.shape != (len(vectors),)
+                    or scales.dtype != np.float32
+                    or norms.dtype != np.float32):
+                # A foreign writer (or hand edit) whose sidecar doesn't
+                # line up with the fp vectors: load unquantized rather
+                # than trust wrong int8 data.
+                quantized = None
         version = payload.get("format_version", 1)
         if version > FORMAT_VERSION:
             raise ValueError(f"{path} uses index format v{version}; this "
@@ -684,7 +822,8 @@ class VectorIndex:
         index = target._from_payload(params, payload["keys"], payload["meta"],
                                      vectors, payload.get("tombstones", []),
                                      band_keys=None if band_keys is None
-                                     else np.asarray(band_keys, np.int64).T)
+                                     else np.asarray(band_keys, np.int64).T,
+                                     quantized=quantized)
         index.format_version = version
         return index
 

@@ -185,6 +185,48 @@ class ShardedIndex:
         """Live entries per shard (skew diagnostic)."""
         return [len(shard) for shard in self.shards]
 
+    # ------------------------------------------------------------------
+    # Quantized tier (delegates to the shards)
+    # ------------------------------------------------------------------
+    @property
+    def quantized(self) -> bool:
+        """Whether *every* shard carries the int8 sidecar — a layout is
+        only quantized as a whole (empty shards count: they quantize to
+        empty sidecars, so skewed layouts still qualify)."""
+        return all(shard.quantized for shard in self.shards)
+
+    @property
+    def use_quantized(self) -> bool:
+        """Whether every shard routes queries through the prefilter."""
+        return all(shard.use_quantized for shard in self.shards)
+
+    def quantize(self) -> int:
+        """(Re)build every shard's int8 sidecar; returns total rows
+        quantized.  Idempotent, like the single-file version."""
+        return sum(shard.quantize() for shard in self.shards)
+
+    def drop_quantized(self) -> None:
+        for shard in self.shards:
+            shard.drop_quantized()
+
+    def enable_quantized(self, overfetch: int | None = None,
+                         margin: int | None = None) -> None:
+        """Opt every shard into quantized scoring (validated first, so
+        a partially quantized layout fails whole rather than serving a
+        mix of prefiltered and exact shards)."""
+        for position, shard in enumerate(self.shards):
+            if not shard.quantized:
+                raise ValueError(
+                    f"shard {position} has no quantized tier — build with "
+                    f"`index build --quantize` or retrofit with `index "
+                    f"quantize PATH`")
+        for shard in self.shards:
+            shard.enable_quantized(overfetch=overfetch, margin=margin)
+
+    def disable_quantized(self) -> None:
+        for shard in self.shards:
+            shard.disable_quantized()
+
     @property
     def generation(self) -> int:
         """Monotonic mutation counter over the whole layout: the sum of
@@ -303,6 +345,15 @@ class ShardedIndex:
         target = len(self.shards) if n_shards is None else n_shards
         if target < 1:
             raise ValueError(f"n_shards must be at least 1, got {target}")
+        # The fresh shards below start unquantized; carry the layout's
+        # quantization state (sidecar presence, scoring opt-in and its
+        # knobs) across the rebuild so a quantized layout never comes
+        # out of a lifecycle op with fp vectors missing their int8
+        # twins.
+        was_quantized = self.quantized
+        was_enabled = self.use_quantized
+        overfetch = self.shards[0].q_overfetch
+        margin = self.shards[0].q_margin
         moved = 0
         buckets: list[list[tuple[str, np.ndarray, dict]]] = \
             [[] for _ in range(target)]
@@ -314,10 +365,16 @@ class ShardedIndex:
                 buckets[owner].append((key, vector, meta))
         fresh = [self.spec.create_index() for _ in range(target)]
         for shard, items in zip(fresh, buckets):
+            if was_quantized:
+                # Quantize-before-insert: add_batch then extends the
+                # sidecar in lockstep with the fp rows.
+                shard.quantize()
             if items:
                 shard.add_batch([key for key, _vec, _meta in items],
                                 np.stack([vec for _key, vec, _meta in items]),
                                 [meta for _key, _vec, meta in items])
+            if was_enabled:
+                shard.enable_quantized(overfetch=overfetch, margin=margin)
         # The fresh shards' counters restart near zero; raise the offset
         # past the old total so the layout generation stays monotonic
         # (a cache key must never be re-minted by a later state).
@@ -485,7 +542,8 @@ class ShardedIndex:
                 if exclude_ids[q] is not None:
                     cands.discard(exclude_ids[q])
                 cand_sets.append(cands)
-            rankings = shard.lsh._rank_many(cand_sets, matrix, None)
+            rankings = shard.lsh._rank_many(
+                cand_sets, matrix, None, shortlist=shard._shortlist_for(k))
             return ([len(cands) for cands in cand_sets],
                     [shard._hits(ranked, k) for ranked in rankings])
 

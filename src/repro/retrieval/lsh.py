@@ -39,6 +39,8 @@ from itertools import islice
 
 import numpy as np
 
+from .quantized import approx_scores, quantize_rows, tie_inclusive_cut
+
 
 class CosineLSH:
     """Sign-random-projection LSH index.
@@ -81,6 +83,14 @@ class CosineLSH:
         # in _vectors so ids stay positional until a caller-side rebuild
         # (see VectorIndex.compact) reclaims the slots.
         self._removed: set[int] = set()
+        # Optional int8 sidecar, positionally aligned with _vectors:
+        # per-row int8 quantization plus the float32 dequantization
+        # constants (scale, exact fp norm).  None until quantize() /
+        # attach_quantized(); once present it is kept fresh by every
+        # insert path, so it can never go stale against the fp rows.
+        self._q8: list[np.ndarray] | None = None
+        self._qscales: list | None = None
+        self._qnorms: list | None = None
 
     def _keys(self, vector: np.ndarray) -> list[int]:
         return self._key_matrix(np.asarray(vector, float)[None, :])[:, 0] \
@@ -114,6 +124,7 @@ class CosineLSH:
         # Copy: storing a view would let later caller-side mutation
         # desynchronize stored vectors from their band buckets.
         self._vectors.append(np.array(vector, dtype=float))
+        self._extend_quantized(self._vectors[-1][None, :])
         keys = self._keys(vector)
         self._band_keys.append(tuple(keys))
         for table, key in zip(self._tables, keys):
@@ -148,6 +159,7 @@ class CosineLSH:
                              f"keys, got {band_keys.shape}")
         start = len(self._vectors)
         self._vectors.extend(np.array(matrix, copy=True) if copy else matrix)
+        self._extend_quantized(matrix)
         per_band = [band.tolist() for band in band_keys]
         for table, band in zip(self._tables, per_band):
             for offset, key in enumerate(band):
@@ -259,14 +271,24 @@ class CosineLSH:
         return excludes
 
     def _rank_many(self, ids_per_query: list[set[int]], matrix: np.ndarray,
-                   k: int | None) -> list[list[tuple[int, float]]]:
+                   k: int | None, shortlist: int | None = None
+                   ) -> list[list[tuple[int, float]]]:
         """Batched :meth:`_rank`: cosine-score every query's candidate
         ids, best first, with **one** GEMM over the union of candidates
         (``(C, dim) @ (dim, Q)``) instead of one dot product per (query,
         candidate) pair.  Sort key is ``(-score, id)``, the serial
         ranking's; scores agree with the serial ``cosine_similarity``
         to floating-point roundoff (bit-equal for equal vectors, so
-        exact ties stay exact ties)."""
+        exact ties stay exact ties).
+
+        ``shortlist=m`` (only honoured when the int8 sidecar is
+        attached) prefilters each query's candidates to the ``>= m``
+        best by approximate integer score before the exact GEMM — the
+        fp rows of dropped candidates are never touched, which under
+        ``mmap`` means their pages are never faulted in."""
+        if shortlist is not None and self._q8 is not None:
+            ids_per_query = self._shortlist_many(ids_per_query, matrix,
+                                                 shortlist)
         union = sorted(set().union(*ids_per_query)) if ids_per_query else []
         if not union:
             return [[] for _ in ids_per_query]
@@ -297,11 +319,14 @@ class CosineLSH:
         return out
 
     def query_partial_many(self, vectors: np.ndarray, k: int | None,
-                           excludes=None
+                           excludes=None, shortlist: int | None = None
                            ) -> list[tuple[int, list[tuple[int, float]]]]:
         """Batched :meth:`query_partial`: one ``(n_candidates, top-k)``
         pair per query row, no brute-force fallback.  ``excludes`` is an
-        optional per-query id list aligned with the rows."""
+        optional per-query id list aligned with the rows.  The reported
+        candidate counts are always *pre-shortlist* — the global
+        fallback decision must not change when the int8 prefilter is
+        active."""
         if k is not None and k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
         matrix = self._as_query_matrix(vectors)
@@ -310,12 +335,14 @@ class CosineLSH:
         for cands, exclude in zip(cand_sets, excludes):
             if exclude is not None:
                 cands.discard(exclude)
-        rankings = self._rank_many(cand_sets, matrix, k)
+        rankings = self._rank_many(cand_sets, matrix, k,
+                                   shortlist=shortlist)
         return [(len(cands), ranked)
                 for cands, ranked in zip(cand_sets, rankings)]
 
     def query_brute_many(self, vectors: np.ndarray, k: int | None,
-                         excludes=None) -> list[list[tuple[int, float]]]:
+                         excludes=None, shortlist: int | None = None
+                         ) -> list[list[tuple[int, float]]]:
         """Batched :meth:`query_brute`: top-k over every live vector for
         each query row, one similarity GEMM for the whole batch."""
         if k is not None and k < 1:
@@ -329,25 +356,31 @@ class CosineLSH:
             if exclude is not None:
                 ids.discard(exclude)
             ids_per_query.append(ids)
-        return self._rank_many(ids_per_query, matrix, k)
+        return self._rank_many(ids_per_query, matrix, k,
+                               shortlist=shortlist)
 
     def query_many(self, vectors: np.ndarray, k: int,
-                   excludes=None) -> list[list[tuple[int, float]]]:
+                   excludes=None, shortlist: int | None = None
+                   ) -> list[list[tuple[int, float]]]:
         """Batched :meth:`query`: top-k per query row, falling back to
         brute force — per query, exactly as the serial path decides —
-        whenever blocking delivered fewer than ``k`` candidates."""
+        whenever blocking delivered fewer than ``k`` candidates (the
+        decision reads the pre-shortlist candidate count, so the int8
+        prefilter never changes when the fallback fires)."""
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
         matrix = self._as_query_matrix(vectors)
         excludes = self._as_excludes(excludes, len(matrix))
-        partials = self.query_partial_many(matrix, k, excludes=excludes)
+        partials = self.query_partial_many(matrix, k, excludes=excludes,
+                                           shortlist=shortlist)
         short = [q for q, (count, _ranked) in enumerate(partials)
                  if count < k]
         results = [ranked for _count, ranked in partials]
         if short:
             brute = self.query_brute_many(matrix[short], k,
                                           excludes=[excludes[q]
-                                                    for q in short])
+                                                    for q in short],
+                                          shortlist=shortlist)
             for q, ranked in zip(short, brute):
                 results[q] = ranked
         return results
@@ -373,34 +406,155 @@ class CosineLSH:
                         dtype=np.int64).reshape(len(self._vectors),
                                                 self.n_bands)
 
-    def _rank(self, ids, vector: np.ndarray,
-              k: int | None) -> list[tuple[int, float]]:
+    # ------------------------------------------------------------------
+    # Quantized sidecar (int8 prefilter tier)
+    # ------------------------------------------------------------------
+    @property
+    def quantized(self) -> bool:
+        """Whether an int8 sidecar is attached (possibly empty)."""
+        return self._q8 is not None
+
+    def quantize(self) -> int:
+        """(Re)build the int8 sidecar from the stored fp vectors —
+        every slot, tombstoned ones included, so ids stay positional.
+        Idempotent: re-running on an already-quantized index recomputes
+        the same rows.  Returns the number of rows quantized."""
+        q8, scales, norms = quantize_rows(
+            np.stack(self._vectors) if self._vectors
+            else np.zeros((0, self.dim)))
+        self._q8 = list(q8)
+        self._qscales = list(scales)
+        self._qnorms = list(norms)
+        return len(self._q8)
+
+    def attach_quantized(self, q8: np.ndarray, scales: np.ndarray,
+                         norms: np.ndarray) -> None:
+        """Adopt a persisted int8 sidecar (possibly memory-mapped rows).
+
+        Shapes and dtypes must match the stored vectors exactly —
+        loaders treat a mismatch (foreign writer, hand edit) as "no
+        sidecar" rather than trusting wrong data.  Rows are stored as
+        views, so a memory-mapped sidecar pages in only the candidate
+        rows the prefilter scores.
+        """
+        n = len(self._vectors)
+        if (q8.shape != (n, self.dim) or scales.shape != (n,)
+                or norms.shape != (n,)):
+            raise ValueError(
+                f"quantized sidecar shapes {q8.shape}/{scales.shape}/"
+                f"{norms.shape} do not match {n} stored vectors of dim "
+                f"{self.dim}")
+        if (q8.dtype != np.int8 or scales.dtype != np.float32
+                or norms.dtype != np.float32):
+            raise ValueError(
+                f"quantized sidecar dtypes {q8.dtype}/{scales.dtype}/"
+                f"{norms.dtype} must be int8/float32/float32")
+        self._q8 = list(q8)
+        self._qscales = list(scales)
+        self._qnorms = list(norms)
+
+    def drop_quantized(self) -> None:
+        """Detach the int8 sidecar (queries revert to exact-only)."""
+        self._q8 = None
+        self._qscales = None
+        self._qnorms = None
+
+    def quantized_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The sidecar as dense arrays ``(q8 (N, dim) int8, scales (N,)
+        float32, norms (N,) float32)`` — what persistence writes."""
+        if self._q8 is None:
+            raise ValueError("index has no quantized sidecar")
+        if not self._q8:
+            return (np.zeros((0, self.dim), dtype=np.int8),
+                    np.zeros(0, dtype=np.float32),
+                    np.zeros(0, dtype=np.float32))
+        return (np.stack(self._q8),
+                np.array(self._qscales, dtype=np.float32),
+                np.array(self._qnorms, dtype=np.float32))
+
+    def _extend_quantized(self, matrix: np.ndarray) -> None:
+        """Quantize freshly inserted rows so the sidecar stays aligned
+        with ``_vectors`` through every mutation — the structural
+        invariant that makes a stale sidecar impossible.  Same batched
+        kernel as :meth:`quantize` (elementwise, so single-row and bulk
+        inserts quantize bit-identically)."""
+        if self._q8 is None:
+            return
+        q8, scales, norms = quantize_rows(np.asarray(matrix, float))
+        self._q8.extend(q8)
+        self._qscales.extend(scales)
+        self._qnorms.extend(norms)
+
+    def _shortlist_many(self, ids_per_query: list[set[int]],
+                        matrix: np.ndarray, m: int) -> list[set[int]]:
+        """Integer prefilter: cut each query's candidate set to the
+        ``>= m`` best by approximate int8 cosine (tie-inclusive, so
+        byte-identical duplicates stay together).  Candidate sets at or
+        under ``m`` pass through untouched; the input sets are never
+        mutated (callers report pre-shortlist candidate counts, which
+        feed the global brute-force fallback decision)."""
+        if not any(len(ids) > m for ids in ids_per_query):
+            return ids_per_query
+        union = sorted(set().union(*ids_per_query))
+        q8 = np.stack([self._q8[i] for i in union])
+        scales = np.array([self._qscales[i] for i in union],
+                          dtype=np.float32)
+        norms = np.array([self._qnorms[i] for i in union],
+                         dtype=np.float32)
+        queries_q8, _scales, _norms = quantize_rows(matrix)
+        approx = approx_scores(q8, scales, norms, queries_q8)
+        row_of = {idx: row for row, idx in enumerate(union)}
+        out: list[set[int]] = []
+        for q, ids in enumerate(ids_per_query):
+            if len(ids) <= m:
+                out.append(ids)
+                continue
+            ordered = sorted(ids)
+            rows = np.fromiter((row_of[i] for i in ordered),
+                               dtype=np.int64, count=len(ordered))
+            keep = tie_inclusive_cut(approx[rows, q], m)
+            out.append({i for i, kept in zip(ordered, keep) if kept})
+        return out
+
+    def _rank(self, ids, vector: np.ndarray, k: int | None,
+              shortlist: int | None = None) -> list[tuple[int, float]]:
         """Cosine-score ``ids`` against ``vector``, best first; ``k``
         ``None`` returns the whole ranking (callers that re-break ties
         by an external key must truncate *after* re-sorting, or a
-        boundary tie could change membership)."""
+        boundary tie could change membership).  ``shortlist`` applies
+        the same integer prefilter as :meth:`_rank_many` — the cut is
+        computed by the identical batched kernel, so serial and batched
+        queries shortlist identically."""
         from .similarity import cosine_similarity
 
+        if shortlist is not None and self._q8 is not None:
+            ids = self._shortlist_many(
+                [set(ids)], np.asarray(vector, float)[None, :], shortlist)[0]
         scored = [(i, cosine_similarity(vector, self._vectors[i])) for i in ids]
         scored.sort(key=lambda pair: (-pair[1], pair[0]))
         return scored if k is None else scored[:k]
 
     def query_partial(self, vector: np.ndarray, k: int | None,
-                      exclude: int | None = None
+                      exclude: int | None = None,
+                      shortlist: int | None = None
                       ) -> tuple[int, list[tuple[int, float]]]:
         """``(n_candidates, top-k among candidates)`` with **no**
         brute-force fallback — one shard's contribution to a fan-out
         query, where whether blocking under-delivered can only be judged
-        on the candidate total across all shards."""
+        on the candidate total across all shards.  The candidate count
+        is always pre-shortlist (see :meth:`query_partial_many`)."""
         if k is not None and k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
         cands = self.candidates(vector)
         if exclude is not None:
             cands.discard(exclude)
-        return len(cands), self._rank(cands, vector, k)
+        return len(cands), self._rank(cands, vector, k,
+                                      shortlist=shortlist)
 
     def query_brute(self, vector: np.ndarray, k: int | None,
-                    exclude: int | None = None) -> list[tuple[int, float]]:
+                    exclude: int | None = None,
+                    shortlist: int | None = None
+                    ) -> list[tuple[int, float]]:
         """Top-k over every live vector, ignoring the band buckets.
         Tombstones still never surface: removed ids are excluded even
         though their vectors occupy slots."""
@@ -409,19 +563,22 @@ class CosineLSH:
         cands = set(self.live_ids())
         if exclude is not None:
             cands.discard(exclude)
-        return self._rank(cands, vector, k)
+        return self._rank(cands, vector, k, shortlist=shortlist)
 
     def query(self, vector: np.ndarray, k: int,
-              exclude: int | None = None) -> list[tuple[int, float]]:
+              exclude: int | None = None,
+              shortlist: int | None = None) -> list[tuple[int, float]]:
         """Top-k cosine neighbours among LSH candidates.
 
         Falls back to brute force over everything indexed when blocking
         returns fewer than ``k`` candidates, so results never silently
         shrink.
         """
-        n_candidates, ranked = self.query_partial(vector, k, exclude=exclude)
+        n_candidates, ranked = self.query_partial(vector, k, exclude=exclude,
+                                                  shortlist=shortlist)
         if n_candidates < k:
-            return self.query_brute(vector, k, exclude=exclude)
+            return self.query_brute(vector, k, exclude=exclude,
+                                    shortlist=shortlist)
         return ranked
 
 

@@ -106,12 +106,22 @@ class RetrievalServer:
                  log_path: str | Path | None = None,
                  sock=None, worker_id: int | None = None,
                  stats_dir: str | Path | None = None,
-                 stats_flush_interval: float = 0.25):
+                 stats_flush_interval: float = 0.25,
+                 quantized: bool = False,
+                 overfetch: int | None = None,
+                 margin: int | None = None):
         if isinstance(target, CatalogHandle):
             self.handle = target
         elif isinstance(target, Catalog):
-            self.handle = CatalogHandle(target, mmap=mmap, max_open=max_open)
+            self.handle = CatalogHandle(target, mmap=mmap, max_open=max_open,
+                                        quantized=quantized,
+                                        overfetch=overfetch, margin=margin)
         else:
+            if quantized:
+                # A bare index is already open, so the quantized scoring
+                # opt-in applies directly (and a missing sidecar fails
+                # here, at construction, with the retrofit hint).
+                target.enable_quantized(overfetch=overfetch, margin=margin)
             self.handle = CatalogHandle.for_index(target)
         self.host = host
         self._requested_port = port
@@ -372,6 +382,14 @@ class RetrievalServer:
                 "model_id": default.index.model_id,
                 "format_version": default.index.format_version,
                 "indexes": len(self.handle),
+                # Quantization state of the default index: whether an
+                # int8 sidecar is attached and whether scoring actually
+                # uses it (getattr — a remote cluster facade has no
+                # quantize surface of its own).
+                "quantized": bool(getattr(default.index, "quantized",
+                                          False)),
+                "quantized_scoring": bool(getattr(default.index,
+                                                  "use_quantized", False)),
             }
             if self._worker_id is not None:
                 # Which fleet member answered — lets a client (and the
@@ -485,6 +503,10 @@ class RetrievalServer:
         described = dict(slot.stats.snapshot(), open=slot.open)
         if slot.open:
             described["generation"] = slot.index.generation
+            described["quantized"] = bool(getattr(slot.index, "quantized",
+                                                  False))
+            described["quantized_scoring"] = bool(
+                getattr(slot.index, "use_quantized", False))
         if not self.handle.cache_enabled:
             described.pop("cache")
         elif slot.cache is not None:

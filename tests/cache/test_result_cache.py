@@ -50,6 +50,27 @@ class TestTTLCache:
         assert cache.expirations == 1
         assert len(cache) == 0
 
+    def test_overflow_pop_of_expired_entry_counts_as_expiration(self):
+        """An entry that timed out but was never swept by a get() and
+        is then popped by put()'s overflow loop is an *expiration*, not
+        an eviction — the counters feed /stats, where evictions signal
+        capacity pressure and must not be inflated by dead entries."""
+        clock = [0.0]
+        cache = TTLCache(2, ttl=10.0, clock=lambda: clock[0])
+        cache.put("a", 1)
+        cache.put("b", 2)
+        clock[0] = 10.0                     # both are now expired...
+        cache.put("c", 3)                   # ...and 'a' pops on overflow
+        assert cache.expirations == 1
+        assert cache.evictions == 0
+        clock[0] = 10.5                     # 'c' (fresh at t=10) still live
+        cache.put("d", 4)                   # pops 'b': also expired
+        assert cache.expirations == 2
+        assert cache.evictions == 0
+        cache.put("e", 5)                   # pops 'c': live → real eviction
+        assert cache.expirations == 2
+        assert cache.evictions == 1
+
     def test_no_ttl_means_no_expiry(self):
         clock = [0.0]
         cache = TTLCache(4, ttl=None, clock=lambda: clock[0])

@@ -102,3 +102,31 @@ def test_bench_lifecycle_smoke(tmp_path):
     (tmp_path / "BENCH_index_lifecycle.json").write_text(json.dumps(report))
     text = bench.render(report).to_text()
     assert "compact" in text and "encode workers=2" in text
+
+
+def test_bench_quantized_smoke(tmp_path):
+    bench = load_module("bench_quantized")
+    report = bench.run(n_vectors=300, dim=16, n_queries=8, k=5,
+                       overfetches=(2, 4), repeats=1)
+    assert report["benchmark"] == "quantized"
+    assert report["config"]["overfetches"] == [2, 4]
+    by_op = {}
+    for record in report["results"]:
+        by_op.setdefault(record["op"], []).append(record)
+    # The equivalence gate ran before any timing (reaching here means
+    # quantized == unquantized rankings at smoke scale), and the
+    # resident-bytes bar held (the harness raises above 0.35x).
+    ratios = {r["mode"]: r["ratio"] for r in by_op["resident_bytes"]}
+    assert ratios["fp64"] == 1.0
+    assert ratios["int8 sidecar"] <= 0.35
+    assert {r["mode"] for r in by_op["score_kernel"]} == \
+        {"int8", "fp64 einsum"}
+    assert {r["mode"] for r in by_op["query_many"]} == \
+        {"unquantized", "quantized"}
+    for record in by_op["recall"]:
+        assert 0.0 <= record["recall_at_shortlist"] <= 1.0
+        assert record["shortlist"] >= 5
+    (tmp_path / "BENCH_quant.json").write_text(json.dumps(report))
+    text = bench.render(report).to_text()
+    assert "resident_bytes int8 sidecar" in text
+    assert "recall overfetch=4" in text

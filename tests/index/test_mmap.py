@@ -258,6 +258,68 @@ class TestBandKeyPersistence:
             _rankings(eager, queries, k=k)
 
 
+class TestQuantizedUnderMmap:
+    def _quantized_path(self, tmp_path, n=60):
+        index, keys, vectors = _make_index(n=n)
+        index.quantize()
+        return index.save(tmp_path / "quant.npz"), index, keys, vectors
+
+    def test_quantized_layout_cold_opens_without_reading_data(self,
+                                                              tmp_path):
+        """Under ``mmap=True`` the int8 sidecar members map straight
+        from the file, exactly like the fp vectors — a cold open reads
+        headers only, never the vector or sidecar data."""
+        path, index, keys, _vectors = self._quantized_path(tmp_path)
+        mapped = open_index(path, mmap=True)
+        assert mapped.quantized
+        for arrays in (mapped.lsh._q8, [mapped.vector(keys[0])]):
+            base = arrays[0]
+            while base is not None and not isinstance(base, np.memmap):
+                base = base.base
+            assert isinstance(base, np.memmap)
+        q8, scales, norms = mapped.lsh.quantized_arrays()
+        want_q8, want_scales, want_norms = index.lsh.quantized_arrays()
+        assert np.array_equal(q8, want_q8)
+        assert np.array_equal(scales, want_scales)
+        assert np.array_equal(norms, want_norms)
+
+    def test_writeback_to_mapped_int8_raises(self, tmp_path):
+        path, _index, _keys, _vectors = self._quantized_path(tmp_path)
+        mapped = open_index(path, mmap=True)
+        row = mapped.lsh._q8[0]
+        assert not row.flags.writeable
+        with pytest.raises(ValueError):
+            row[0] = 7
+
+    def test_mmap_npz_member_handles_non_float_dtypes(self, tmp_path):
+        """The hand-rolled npz member parser must map int8 data and
+        float32 sidecar members (not just the float64 vectors) with the
+        right dtype, shape, and alignment."""
+        from repro.index.index import _mmap_npz_member
+
+        path, index, _keys, _vectors = self._quantized_path(tmp_path)
+        want_q8, want_scales, want_norms = index.lsh.quantized_arrays()
+        q8 = _mmap_npz_member(path, "q8.npy")
+        assert q8.dtype == np.int8 and np.array_equal(q8, want_q8)
+        scales = _mmap_npz_member(path, "q_scales.npy")
+        assert scales.dtype == np.float32
+        assert np.array_equal(scales, want_scales)
+        norms = _mmap_npz_member(path, "q_norms.npy")
+        assert norms.dtype == np.float32
+        assert np.array_equal(norms, want_norms)
+
+    def test_quantized_rankings_identical_under_mmap(self, tmp_path):
+        path, index, _keys, vectors = self._quantized_path(tmp_path)
+        queries = np.vstack([vectors[:4],
+                             np.random.default_rng(3).standard_normal(
+                                 (4, 16))])
+        want = _rankings(index, queries)
+        for mmap in (False, True):
+            loaded = open_index(path, mmap=mmap, quantized=True)
+            assert loaded.use_quantized
+            assert _rankings(loaded, queries) == want
+
+
 class TestTypedIndexesUnderMmap:
     def test_table_and_column_indexes_serve_mapped(self, tmp_path, embedder,
                                                    corpus):

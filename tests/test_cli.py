@@ -768,3 +768,88 @@ class TestBatchStreaming:
         assert main(["index", "query", "cancerkg", "--index", str(built),
                      "--batch", str(batch_file), "--chunk", "2",
                      "--k", "3"]) == 0
+
+
+class TestIndexQuantizeCLI:
+    """`index quantize` retrofit + `index build --quantize`, end to end."""
+
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        import numpy as np
+
+        from repro.index import VectorIndex
+
+        rng = np.random.default_rng(0)
+        index = VectorIndex(dim=12, seed=0)
+        vectors = rng.standard_normal((40, 12))
+        vectors[1::3] = vectors[::3][:len(vectors[1::3])]   # dense ties
+        index.add_batch([f"k{i:03d}" for i in range(40)], vectors)
+        return index.save(tmp_path / "tables.npz"), vectors
+
+    def test_quantize_retrofits_in_place(self, saved, capsys):
+        import numpy as np
+
+        from repro.index import open_index
+
+        path, vectors = saved
+        assert main(["index", "quantize", str(path)]) == 0
+        assert "int8 sidecar over 40 vectors" in capsys.readouterr().out
+        with np.load(path) as archive:
+            assert {"q8", "q_scales", "q_norms"} <= set(archive.files)
+        quant = open_index(path, quantized=True)
+        plain = open_index(path)
+        want = [[(h.key, h.score) for h in hits]
+                for hits in plain.query_many(vectors[:4], k=6)]
+        got = [[(h.key, h.score) for h in hits]
+               for hits in quant.query_many(vectors[:4], k=6)]
+        assert got == want
+
+    def test_quantize_is_idempotent_refresh(self, saved, capsys):
+        path, _vectors = saved
+        assert main(["index", "quantize", str(path)]) == 0
+        before = path.read_bytes()
+        assert main(["index", "quantize", str(path)]) == 0
+        assert "Refreshed" in capsys.readouterr().out
+        assert path.read_bytes() == before
+
+    def test_quantize_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["index", "quantize", str(tmp_path / "ghost.npz")]) == 2
+        assert capsys.readouterr().err
+
+    def test_lifecycle_after_quantize_keeps_sidecar_fresh(self, saved):
+        """rm --compact on a quantized layout rewrites the sidecar in
+        lockstep — never stale int8 next to mutated fp vectors."""
+        import numpy as np
+
+        from repro.index import open_index
+        from repro.retrieval import quantize_rows
+
+        path, _vectors = saved
+        assert main(["index", "quantize", str(path)]) == 0
+        assert main(["index", "rm", str(path), "k000", "--compact"]) == 0
+        reloaded = open_index(path, quantized=True)
+        want = quantize_rows(np.stack(reloaded.lsh._vectors))
+        got = reloaded.lsh.quantized_arrays()
+        for got_arr, want_arr in zip(got, want):
+            assert np.array_equal(got_arr, want_arr)
+
+    def test_quantize_sharded_layout(self, tmp_path):
+        import numpy as np
+
+        from repro.index import IndexSpec, ShardedIndex, open_index
+
+        rng = np.random.default_rng(1)
+        sharded = ShardedIndex.create(
+            IndexSpec(kind="vector", dim=8, seed=0), 3)
+        vectors = rng.standard_normal((30, 8))
+        sharded.add_batch([f"s{i:03d}" for i in range(30)], vectors)
+        path = sharded.save(tmp_path / "layout")
+        assert main(["index", "quantize", str(path)]) == 0
+        reopened = open_index(path, quantized=True)
+        assert reopened.quantized and reopened.use_quantized
+        plain = open_index(path)
+        want = [[(h.key, h.score) for h in hits]
+                for hits in plain.query_many(vectors[:3], k=5)]
+        got = [[(h.key, h.score) for h in hits]
+               for hits in reopened.query_many(vectors[:3], k=5)]
+        assert got == want
